@@ -1,0 +1,92 @@
+#ifndef NEURSC_BENCH_BENCH_UTIL_H_
+#define NEURSC_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cset.h"
+#include "baselines/estimator.h"
+#include "baselines/lss.h"
+#include "baselines/neursc_adapter.h"
+#include "baselines/nsic.h"
+#include "baselines/sampling.h"
+#include "baselines/sumrdf.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+#include "eval/workload.h"
+#include "graph/generators.h"
+
+namespace neursc {
+namespace bench {
+
+/// Harness-wide knobs, overridable via environment variables so the same
+/// binaries support quick smoke runs and higher-fidelity sweeps:
+///   NEURSC_SCALE   multiplies every dataset's generation scale
+///   NEURSC_EPOCHS  training epochs for learned models (default 16)
+///   NEURSC_QUERIES queries per (dataset, size) (default from profile,
+///                  capped at 32)
+struct BenchEnv {
+  size_t epochs = 16;
+  size_t pretrain_epochs = 8;
+  size_t max_queries_per_size = 32;
+  double ground_truth_budget_seconds = 1.0;
+
+  static BenchEnv FromEnvironment();
+};
+
+/// A dataset stand-in plus its labeled workload and 80/20 split.
+struct BenchDataset {
+  DatasetProfile profile;
+  Graph graph;
+  Workload workload;
+  WorkloadSplit split;
+};
+
+/// Generates the stand-in for `profile_name` and builds its workload.
+/// `sizes_override` non-empty replaces the profile's query sizes;
+/// `edge_keep_probability` > 0 overrides the workload default (1.0 yields
+/// induced = dense queries).
+Result<BenchDataset> BuildBenchDataset(
+    const std::string& profile_name, const BenchEnv& env,
+    const std::vector<size_t>& sizes_override = {},
+    double edge_keep_probability = 0.0);
+
+/// Default NeurSC configuration for bench runs (paper architecture at
+/// reduced width; see DESIGN.md).
+NeurSCConfig DefaultNeurSCConfig(const BenchEnv& env);
+
+LssEstimator::Options DefaultLssOptions(const BenchEnv& env);
+NsicEstimator::Options DefaultNsicOptions(const BenchEnv& env,
+                                          NsicEstimator::GnnKind kind);
+
+/// Per-method evaluation result over a set of queries.
+struct MethodResult {
+  std::string name;
+  std::vector<double> signed_qerrors;
+  std::vector<double> qerrors;
+  size_t timeouts = 0;
+  size_t failures = 0;
+  double total_estimate_seconds = 0.0;
+  size_t evaluated = 0;
+
+  double MeanQueryMillis() const {
+    return evaluated == 0 ? 0.0
+                          : 1e3 * total_estimate_seconds /
+                                static_cast<double>(evaluated);
+  }
+};
+
+/// Runs `method` over the workload examples at `indices`.
+MethodResult EvaluateMethod(CardinalityEstimator* method,
+                            const Workload& workload,
+                            const std::vector<size_t>& indices);
+
+/// Prints one box-plot row (signed q-error) plus timeout/failure counts.
+void PrintMethodRow(const MethodResult& result);
+
+}  // namespace bench
+}  // namespace neursc
+
+#endif  // NEURSC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// Scenario: social-network motif analysis (Sec. 1's bioinformatics /
+// social-network application). We count labeled motifs — wedges, triangles,
+// labeled squares — on a synthetic social network, first exactly, then with
+// the trained NeurSC estimator, and report motif concentrations.
+
+#include <cstdio>
+
+#include "core/neursc.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "graph/generators.h"
+#include "matching/enumeration.h"
+#include "motif_catalog.h"
+
+using namespace neursc;
+
+int main() {
+  // "Social network": heavy-tailed degrees, labels as user communities.
+  GeneratorConfig gen;
+  gen.num_vertices = 1500;
+  gen.num_edges = 6000;
+  gen.num_labels = 4;
+  gen.degree_exponent = 2.3;
+  gen.seed = 99;
+  auto data = GeneratePowerLawGraph(gen);
+  if (!data.ok()) return 1;
+  std::printf("social network: %s\n", data->Summary().c_str());
+
+  auto motifs = examples_motifs::BuildMotifCatalog();
+
+  // Train NeurSC on induced random-walk queries from the same network
+  // (induced queries keep triangles/dense patterns in-distribution).
+  WorkloadOptions wopts;
+  wopts.edge_keep_probability = 1.0;
+  auto workload = BuildWorkload(*data, {3, 4}, 40, wopts);
+  if (!workload.ok()) return 1;
+  NeurSCConfig config;
+  config.epochs = 20;
+  config.pretrain_epochs = 10;
+  NeurSCEstimator estimator(*data, config);
+  auto stats = estimator.Train(workload->examples);
+  if (!stats.ok()) return 1;
+
+  std::printf("\n%-24s %14s %14s %9s\n", "motif", "exact", "NeurSC",
+              "q-error");
+  double total_exact = 0.0;
+  std::vector<double> concentrations;
+  std::vector<double> estimates;
+  for (const auto& [name, motif] : motifs) {
+    EnumerationOptions opts;
+    opts.time_limit_seconds = 10.0;
+    auto exact = CountSubgraphIsomorphisms(motif, *data, opts);
+    auto approx = estimator.Estimate(motif);
+    if (!exact.ok() || !approx.ok()) continue;
+    double truth = static_cast<double>(exact->count);
+    total_exact += truth;
+    concentrations.push_back(truth);
+    estimates.push_back(approx->count);
+    std::printf("%-24s %14.0f %14.1f %9.2f\n", name.c_str(), truth,
+                approx->count, QError(approx->count, truth));
+  }
+
+  std::printf(
+      "\nnote: dense motifs (triangles) are out-of-distribution for a\n"
+      "model trained on random-walk queries; the bench harnesses train\n"
+      "and evaluate on matched workloads.\n");
+  std::printf("\nmotif concentration (share of all motif embeddings):\n");
+  size_t idx = 0;
+  for (const auto& [name, motif] : motifs) {
+    if (idx >= concentrations.size()) break;
+    std::printf("  %-24s exact %6.2f%%\n", name.c_str(),
+                100.0 * concentrations[idx] / total_exact);
+    ++idx;
+  }
+  return 0;
+}

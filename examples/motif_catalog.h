@@ -1,0 +1,48 @@
+#ifndef NEURSC_EXAMPLES_MOTIF_CATALOG_H_
+#define NEURSC_EXAMPLES_MOTIF_CATALOG_H_
+
+// Small catalog of labeled motif queries shared by the example programs.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace examples_motifs {
+
+inline neursc::Graph BuildMotif(
+    const std::vector<neursc::Label>& labels,
+    const std::vector<std::pair<neursc::VertexId, neursc::VertexId>>&
+        edges) {
+  neursc::GraphBuilder builder;
+  for (neursc::Label l : labels) builder.AddVertex(l);
+  for (const auto& [u, v] : edges) {
+    (void)builder.AddEdge(u, v);
+  }
+  auto built = builder.Build();
+  return std::move(built).value();
+}
+
+/// Labeled wedge, triangle, square and tailed-triangle motifs over
+/// community labels {0, 1, 2}.
+inline std::vector<std::pair<std::string, neursc::Graph>>
+BuildMotifCatalog() {
+  std::vector<std::pair<std::string, neursc::Graph>> catalog;
+  catalog.emplace_back("wedge 0-1-0",
+                       BuildMotif({0, 1, 0}, {{0, 1}, {1, 2}}));
+  catalog.emplace_back(
+      "triangle 0-1-2",
+      BuildMotif({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}}));
+  catalog.emplace_back(
+      "square 0-1-0-1",
+      BuildMotif({0, 1, 0, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  catalog.emplace_back(
+      "tailed triangle",
+      BuildMotif({0, 1, 2, 3}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}));
+  return catalog;
+}
+
+}  // namespace examples_motifs
+
+#endif  // NEURSC_EXAMPLES_MOTIF_CATALOG_H_

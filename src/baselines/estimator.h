@@ -1,0 +1,35 @@
+#ifndef NEURSC_BASELINES_ESTIMATOR_H_
+#define NEURSC_BASELINES_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/neursc.h"
+#include "graph/graph.h"
+
+namespace neursc {
+
+/// Common interface every compared method implements, so the benchmark
+/// harnesses can sweep methods uniformly. Non-learned estimators have a
+/// no-op Train().
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Trains on labeled examples; no-op for summary/sampling methods.
+  virtual Status Train(const std::vector<TrainingExample>& examples) {
+    (void)examples;
+    return Status::OK();
+  }
+
+  /// Estimates the subgraph isomorphism count of `query` on the estimator's
+  /// data graph. A Timeout status models the paper's 5-minute cutoff.
+  virtual Result<double> EstimateCount(const Graph& query) = 0;
+};
+
+}  // namespace neursc
+
+#endif  // NEURSC_BASELINES_ESTIMATOR_H_

@@ -1,0 +1,104 @@
+#include "baselines/label_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace neursc {
+
+namespace {
+
+/// Gram-Schmidt orthonormalization of the columns of m (in place).
+void Orthonormalize(Matrix* m) {
+  const size_t rows = m->rows();
+  const size_t cols = m->cols();
+  for (size_t c = 0; c < cols; ++c) {
+    // Remove projections onto previous columns.
+    for (size_t prev = 0; prev < c; ++prev) {
+      double dot = 0.0;
+      for (size_t r = 0; r < rows; ++r) {
+        dot += static_cast<double>(m->at(r, c)) * m->at(r, prev);
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        m->at(r, c) -= static_cast<float>(dot) * m->at(r, prev);
+      }
+    }
+    double norm = 0.0;
+    for (size_t r = 0; r < rows; ++r) {
+      norm += static_cast<double>(m->at(r, c)) * m->at(r, c);
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      // Degenerate direction: re-seed with a unit basis vector.
+      for (size_t r = 0; r < rows; ++r) m->at(r, c) = 0.0f;
+      m->at(c % rows, c) = 1.0f;
+    } else {
+      float inv = static_cast<float>(1.0 / norm);
+      for (size_t r = 0; r < rows; ++r) m->at(r, c) *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+LabelEmbedding::LabelEmbedding(const Graph& data, size_t dim,
+                               size_t power_iterations, uint64_t seed) {
+  const size_t num_labels = std::max<size_t>(data.NumLabels(), 1);
+  dim = std::min(dim, num_labels);
+  dim = std::max<size_t>(dim, 1);
+  zero_.assign(dim, 0.0f);
+
+  // Label co-occurrence matrix with self-loops for stability.
+  Matrix cooc(num_labels, num_labels);
+  for (size_t v = 0; v < data.NumVertices(); ++v) {
+    Label lv = data.GetLabel(static_cast<VertexId>(v));
+    for (VertexId w : data.Neighbors(static_cast<VertexId>(v))) {
+      cooc.at(lv, data.GetLabel(w)) += 1.0f;
+    }
+  }
+  for (size_t l = 0; l < num_labels; ++l) cooc.at(l, l) += 1.0f;
+
+  // Symmetric normalization N = D^-1/2 C D^-1/2.
+  std::vector<double> inv_sqrt_degree(num_labels, 0.0);
+  for (size_t a = 0; a < num_labels; ++a) {
+    double row_sum = 0.0;
+    for (size_t b = 0; b < num_labels; ++b) row_sum += cooc.at(a, b);
+    inv_sqrt_degree[a] = row_sum > 0.0 ? 1.0 / std::sqrt(row_sum) : 0.0;
+  }
+  for (size_t a = 0; a < num_labels; ++a) {
+    for (size_t b = 0; b < num_labels; ++b) {
+      cooc.at(a, b) = static_cast<float>(
+          cooc.at(a, b) * inv_sqrt_degree[a] * inv_sqrt_degree[b]);
+    }
+  }
+
+  // Subspace iteration for the top-dim eigenpairs.
+  Rng rng(seed);
+  Matrix basis = Matrix::Uniform(num_labels, dim, -1.0f, 1.0f, &rng);
+  Orthonormalize(&basis);
+  for (size_t it = 0; it < power_iterations; ++it) {
+    basis = Matrix::MatMul(cooc, basis);
+    Orthonormalize(&basis);
+  }
+
+  // Rayleigh quotients approximate the eigenvalues; scale columns by
+  // sqrt(|lambda|) so dominant structure dominates the embedding.
+  Matrix projected = Matrix::MatMul(cooc, basis);
+  vectors_ = basis;
+  for (size_t c = 0; c < dim; ++c) {
+    double lambda = 0.0;
+    for (size_t r = 0; r < num_labels; ++r) {
+      lambda += static_cast<double>(basis.at(r, c)) * projected.at(r, c);
+    }
+    float scale = static_cast<float>(std::sqrt(std::abs(lambda)));
+    for (size_t r = 0; r < num_labels; ++r) vectors_.at(r, c) *= scale;
+  }
+}
+
+const float* LabelEmbedding::Vector(Label label) const {
+  if (label >= vectors_.rows()) return zero_.data();
+  return vectors_.row(label);
+}
+
+}  // namespace neursc

@@ -1,0 +1,44 @@
+#ifndef NEURSC_BASELINES_LABEL_EMBEDDING_H_
+#define NEURSC_BASELINES_LABEL_EMBEDDING_H_
+
+#include "graph/graph.h"
+#include "nn/matrix.h"
+
+namespace neursc {
+
+/// Task-independent label embeddings standing in for the ProNE embeddings
+/// LSS initializes query-vertex features with (the paper: "we use the
+/// enhanced label embedding produced by ProNE as the initial features").
+///
+/// Construction: the symmetric label co-occurrence matrix C (C[a][b] =
+/// number of data edges joining labels a and b, diagonal = 2x same-label
+/// edges) is degree-normalized to N = D^-1/2 (C + I) D^-1/2 and factorized
+/// by subspace (orthogonal) power iteration; the embedding of label l is
+/// its row of the top-`dim` eigenvector basis scaled by sqrt(|eigenvalue|).
+/// Labels that co-occur with similar label distributions land close
+/// together, which is the property the downstream GNN consumes.
+class LabelEmbedding {
+ public:
+  /// Builds embeddings of dimension `dim` (clamped to the label count)
+  /// from the data graph. `power_iterations` controls the subspace
+  /// iteration count (enough for small label alphabets).
+  LabelEmbedding(const Graph& data, size_t dim, size_t power_iterations = 30,
+                 uint64_t seed = 61);
+
+  size_t dim() const { return vectors_.cols(); }
+  size_t num_labels() const { return vectors_.rows(); }
+
+  /// Embedding row for a label; out-of-range labels get the zero vector.
+  const float* Vector(Label label) const;
+
+  /// Full (num_labels x dim) matrix.
+  const Matrix& vectors() const { return vectors_; }
+
+ private:
+  Matrix vectors_;
+  std::vector<float> zero_;
+};
+
+}  // namespace neursc
+
+#endif  // NEURSC_BASELINES_LABEL_EMBEDDING_H_

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace neursc {
+namespace internal_logging {
+
+namespace {
+
+LogLevel g_level = [] {
+  const char* env = std::getenv("NEURSC_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}();
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (level < g_level && level != LogLevel::kFatal) return;
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace neursc

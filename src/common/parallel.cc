@@ -1,0 +1,42 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace neursc {
+
+size_t DefaultThreadCount() {
+  const char* env = std::getenv("NEURSC_THREADS");
+  if (env != nullptr) {
+    long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&]() {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace neursc

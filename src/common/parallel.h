@@ -1,0 +1,24 @@
+#ifndef NEURSC_COMMON_PARALLEL_H_
+#define NEURSC_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace neursc {
+
+/// Number of worker threads used by ParallelFor: the NEURSC_THREADS
+/// environment variable if set, otherwise the hardware concurrency
+/// (at least 1).
+size_t DefaultThreadCount();
+
+/// Runs fn(i) for i in [0, n) across `num_threads` threads (0 = default).
+/// Work is distributed by atomic counter, so uneven task costs balance.
+/// fn must be safe to call concurrently for distinct i; results should be
+/// written to pre-sized per-index slots. Deterministic output requires fn
+/// itself to be deterministic per index (scheduling order is not).
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace neursc
+
+#endif  // NEURSC_COMMON_PARALLEL_H_

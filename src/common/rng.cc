@@ -1,0 +1,36 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace neursc {
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return weights.size();
+  double r = Uniform01() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+int64_t Rng::Zipf(int64_t n, double alpha) {
+  // Inverse-transform sampling of the continuous power-law density
+  // p(x) ~ x^-alpha on [1, n+1), truncated to an integer.
+  double u = Uniform01();
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    double x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    int64_t k = static_cast<int64_t>(x);
+    return std::min<int64_t>(std::max<int64_t>(k, 1), n);
+  }
+  double one_minus = 1.0 - alpha;
+  double max_term = std::pow(static_cast<double>(n) + 1.0, one_minus);
+  double x = std::pow(u * (max_term - 1.0) + 1.0, 1.0 / one_minus);
+  int64_t k = static_cast<int64_t>(x);
+  return std::min<int64_t>(std::max<int64_t>(k, 1), n);
+}
+
+}  // namespace neursc

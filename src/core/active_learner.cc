@@ -1,0 +1,119 @@
+#include "core/active_learner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "matching/enumeration.h"
+
+namespace neursc {
+
+namespace {
+
+// Local q-error (src/eval depends on src/core, so core cannot pull
+// eval/metrics.h in).
+double PairwiseQError(double a, double b) {
+  double x = std::max(1.0, a);
+  double y = std::max(1.0, b);
+  return std::max(x / y, y / x);
+}
+
+}  // namespace
+
+ActiveLearner::ActiveLearner(const Graph& data, ModelHooks hooks,
+                             Options options)
+    : data_(data), hooks_(std::move(hooks)), options_(options) {}
+
+Result<std::vector<TrainingExample>> ActiveLearner::Run(
+    std::vector<TrainingExample> labeled,
+    const std::vector<Graph>& unlabeled_pool) {
+  if (labeled.empty()) {
+    return Status::InvalidArgument("need a non-empty initial labeled set");
+  }
+  std::vector<bool> taken(unlabeled_pool.size(), false);
+
+  for (size_t round = 0; round < options_.rounds; ++round) {
+    // Ensemble predictions on the remaining pool.
+    std::vector<std::vector<double>> member_predictions(
+        options_.ensemble_size);
+    for (size_t member = 0; member < options_.ensemble_size; ++member) {
+      hooks_.reset(options_.seed + 1000 * round + member);
+      NEURSC_RETURN_IF_ERROR(hooks_.train(labeled));
+      member_predictions[member].assign(unlabeled_pool.size(), -1.0);
+      for (size_t i = 0; i < unlabeled_pool.size(); ++i) {
+        if (taken[i]) continue;
+        auto est = hooks_.estimate(unlabeled_pool[i]);
+        if (est.ok()) member_predictions[member][i] = *est;
+      }
+    }
+
+    // Disagreement = max pairwise q-error between member predictions.
+    last_scores_.assign(unlabeled_pool.size(), 0.0);
+    for (size_t i = 0; i < unlabeled_pool.size(); ++i) {
+      if (taken[i]) continue;
+      double score = 0.0;
+      for (size_t a = 0; a < options_.ensemble_size; ++a) {
+        for (size_t b = a + 1; b < options_.ensemble_size; ++b) {
+          double pa = member_predictions[a][i];
+          double pb = member_predictions[b][i];
+          if (pa < 0.0 || pb < 0.0) continue;
+          score = std::max(score, PairwiseQError(pa, pb));
+        }
+      }
+      last_scores_[i] = score;
+    }
+
+    // Acquire the most uncertain queries and label them with the oracle.
+    std::vector<size_t> order(unlabeled_pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return last_scores_[a] > last_scores_[b];
+    });
+    size_t acquired = 0;
+    for (size_t i : order) {
+      if (acquired >= options_.acquisitions_per_round) break;
+      if (taken[i] || last_scores_[i] <= 0.0) continue;
+      EnumerationOptions eopts;
+      eopts.time_limit_seconds = options_.oracle_time_limit_seconds;
+      auto counted =
+          CountSubgraphIsomorphisms(unlabeled_pool[i], data_, eopts);
+      if (!counted.ok() || !counted->exact) continue;  // over budget: skip
+      taken[i] = true;
+      labeled.push_back(TrainingExample{
+          unlabeled_pool[i], static_cast<double>(counted->count)});
+      ++acquired;
+    }
+    NEURSC_LOG(Debug) << "active round " << round << ": acquired "
+                      << acquired << " queries (pool "
+                      << unlabeled_pool.size() << ")";
+    if (acquired == 0) break;  // pool exhausted or oracle starved
+  }
+
+  // Final training pass on the enlarged labeled set with the base seed.
+  hooks_.reset(options_.seed);
+  NEURSC_RETURN_IF_ERROR(hooks_.train(labeled));
+  return labeled;
+}
+
+ActiveLearner::ModelHooks MakeNeurSCHooks(
+    std::unique_ptr<NeurSCEstimator>* slot, const Graph& data,
+    NeurSCConfig config) {
+  ActiveLearner::ModelHooks hooks;
+  hooks.reset = [slot, &data, config](uint64_t seed) {
+    NeurSCConfig seeded = config;
+    seeded.seed = seed;
+    *slot = std::make_unique<NeurSCEstimator>(data, seeded);
+  };
+  hooks.train = [slot](const std::vector<TrainingExample>& examples) {
+    auto stats = (*slot)->Train(examples);
+    return stats.ok() ? Status::OK() : stats.status();
+  };
+  hooks.estimate = [slot](const Graph& query) -> Result<double> {
+    auto info = (*slot)->Estimate(query);
+    if (!info.ok()) return info.status();
+    return info->count;
+  };
+  return hooks;
+}
+
+}  // namespace neursc

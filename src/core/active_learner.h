@@ -1,0 +1,83 @@
+#ifndef NEURSC_CORE_ACTIVE_LEARNER_H_
+#define NEURSC_CORE_ACTIVE_LEARNER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/neursc.h"
+#include "graph/graph.h"
+
+namespace neursc {
+
+/// Active learning for count estimators, in the spirit of ALSS (Zhao et
+/// al. pair LSS with an active learner; the NeurSC paper compares against
+/// plain LSS but cites the AL extension). The loop is
+/// estimator-agnostic:
+///
+///   1. Train an ensemble of estimators (different seeds) on the labeled
+///      pool.
+///   2. Score every unlabeled candidate query by ensemble disagreement
+///      (the max pairwise q-error between member predictions — a
+///      label-free uncertainty proxy).
+///   3. Move the most uncertain queries to the labeled pool, computing
+///      their exact counts (the expensive "oracle" call), and retrain.
+///
+/// The harness exposes hooks so both NeurSC and LSS (or any
+/// CardinalityEstimator) can plug in.
+class ActiveLearner {
+ public:
+  struct Options {
+    size_t ensemble_size = 2;
+    size_t rounds = 2;
+    /// Queries labeled per round.
+    size_t acquisitions_per_round = 8;
+    /// Budget for each oracle (exact counting) call.
+    double oracle_time_limit_seconds = 2.0;
+    uint64_t seed = 77;
+  };
+
+  /// A trainable-model factory: builds a fresh estimator with the given
+  /// seed. Train/estimate run through the returned closure pair.
+  struct ModelHooks {
+    /// Resets the model with a seed.
+    std::function<void(uint64_t seed)> reset;
+    /// Trains on the labeled pool.
+    std::function<Status(const std::vector<TrainingExample>&)> train;
+    /// Predicts a count.
+    std::function<Result<double>(const Graph&)> estimate;
+  };
+
+  /// `data` is the data graph the counts refer to; hooks are invoked on a
+  /// caller-owned model (the learner drives reset/train/estimate cycles).
+  ActiveLearner(const Graph& data, ModelHooks hooks, Options options);
+
+  /// Runs the loop: starts from `labeled`, draws acquisitions from
+  /// `unlabeled_pool` (queries without counts). Returns the final labeled
+  /// set (inputs + acquisitions with oracle counts). The model behind
+  /// `hooks` ends up trained on that final set with the base seed.
+  Result<std::vector<TrainingExample>> Run(
+      std::vector<TrainingExample> labeled,
+      const std::vector<Graph>& unlabeled_pool);
+
+  /// Disagreement score of the last Run() per pool index (diagnostics).
+  const std::vector<double>& last_scores() const { return last_scores_; }
+
+ private:
+  const Graph& data_;
+  ModelHooks hooks_;
+  Options options_;
+  std::vector<double> last_scores_;
+};
+
+/// Convenience hook factory for NeurSCEstimator. The estimator object is
+/// rebuilt on reset with the stored config (seed overridden).
+ActiveLearner::ModelHooks MakeNeurSCHooks(
+    std::unique_ptr<NeurSCEstimator>* slot, const Graph& data,
+    NeurSCConfig config);
+
+}  // namespace neursc
+
+#endif  // NEURSC_CORE_ACTIVE_LEARNER_H_

@@ -1,0 +1,94 @@
+#include "core/feature_init.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace neursc {
+
+size_t BitsFor(size_t max_value) {
+  size_t bits = 1;
+  while ((max_value >> bits) != 0) ++bits;
+  return bits;
+}
+
+FeatureInitializer::FeatureInitializer(const Graph& data, size_t num_hops)
+    : degree_bits_(BitsFor(data.MaxDegree())),
+      label_bits_(BitsFor(data.NumLabels() == 0 ? 1 : data.NumLabels() - 1)),
+      num_hops_(num_hops) {}
+
+FeatureInitializer::FeatureInitializer(size_t degree_bits, size_t label_bits,
+                                       size_t num_hops)
+    : degree_bits_(degree_bits), label_bits_(label_bits),
+      num_hops_(num_hops) {}
+
+namespace {
+
+/// Writes the binary encoding of `value` (LSB first) into out[0..bits);
+/// saturates to all-ones when the value does not fit.
+void EncodeBinary(size_t value, size_t bits, float* out) {
+  if ((value >> bits) != 0) value = (static_cast<size_t>(1) << bits) - 1;
+  for (size_t b = 0; b < bits; ++b) {
+    out[b] = static_cast<float>((value >> b) & 1u);
+  }
+}
+
+}  // namespace
+
+Matrix FeatureInitializer::Compute(const Graph& g) const {
+  const size_t n = g.NumVertices();
+  const size_t base = degree_bits_ + label_bits_;
+  Matrix features(n, FeatureDim());
+
+  // Per-vertex own encoding.
+  for (size_t v = 0; v < n; ++v) {
+    float* row = features.row(v);
+    EncodeBinary(g.Degree(static_cast<VertexId>(v)), degree_bits_, row);
+    EncodeBinary(g.GetLabel(static_cast<VertexId>(v)), label_bits_,
+                 row + degree_bits_);
+  }
+
+  if (num_hops_ == 0) return features;
+
+  // Exact-i-hop rings via BFS per vertex; mean-pool the (deg, label)
+  // encodings of each ring into the corresponding feature block.
+  std::vector<uint32_t> dist(n);
+  std::vector<float> encode_buffer(base);
+  for (size_t v = 0; v < n; ++v) {
+    std::fill(dist.begin(), dist.end(), UINT32_MAX);
+    std::queue<VertexId> queue;
+    dist[v] = 0;
+    queue.push(static_cast<VertexId>(v));
+    std::vector<size_t> ring_count(num_hops_ + 1, 0);
+    float* row = features.row(v);
+    while (!queue.empty()) {
+      VertexId x = queue.front();
+      queue.pop();
+      uint32_t d = dist[x];
+      if (d > 0 && d <= num_hops_) {
+        float* block = row + base * d;
+        EncodeBinary(g.Degree(x), degree_bits_, encode_buffer.data());
+        EncodeBinary(g.GetLabel(x), label_bits_,
+                     encode_buffer.data() + degree_bits_);
+        for (size_t i = 0; i < base; ++i) block[i] += encode_buffer[i];
+        ++ring_count[d];
+      }
+      if (d >= num_hops_) continue;
+      for (VertexId w : g.Neighbors(x)) {
+        if (dist[w] == UINT32_MAX) {
+          dist[w] = d + 1;
+          queue.push(w);
+        }
+      }
+    }
+    for (size_t hop = 1; hop <= num_hops_; ++hop) {
+      if (ring_count[hop] == 0) continue;
+      float inv = 1.0f / static_cast<float>(ring_count[hop]);
+      float* block = row + base * hop;
+      for (size_t i = 0; i < base; ++i) block[i] *= inv;
+    }
+  }
+  return features;
+}
+
+}  // namespace neursc

@@ -1,0 +1,370 @@
+#include "core/neursc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/serialize.h"
+
+namespace neursc {
+
+namespace {
+
+/// Substructure standing in for the whole data graph ("w/o SE" ablation).
+Substructure WholeGraphSubstructure(const Graph& data, size_t num_query) {
+  Substructure s;
+  s.graph = data;
+  s.original_id.resize(data.NumVertices());
+  std::iota(s.original_id.begin(), s.original_id.end(), 0u);
+  s.local_candidates.assign(num_query, {});
+  return s;
+}
+
+}  // namespace
+
+NeurSCEstimator::NeurSCEstimator(const Graph& data, NeurSCConfig config)
+    : data_(data),
+      config_(std::move(config)),
+      features_(data, config_.west.feature_hops),
+      rng_(config_.seed) {
+  if (!config_.use_substructure_extraction) {
+    // Without extraction there are no candidate sets, so neither the
+    // bipartite inter network nor the discriminator is applicable
+    // (Sec. 6.2's "NeurSC w/o SE" runs intra-only).
+    config_.west.use_inter = false;
+    config_.use_discriminator = false;
+  }
+  config_.west.seed = config_.seed;
+  model_ = std::make_unique<WEstModel>(features_.FeatureDim(), config_.west);
+  if (config_.use_discriminator) {
+    critic_ = std::make_unique<Discriminator>(
+        model_->ReprDim(), config_.disc_hidden, config_.disc_clip,
+        config_.seed + 1);
+    AdamOptimizer::Options omega_options;
+    omega_options.learning_rate = config_.disc_learning_rate;
+    opt_omega_ = std::make_unique<AdamOptimizer>(critic_->Parameters(),
+                                                 omega_options);
+  }
+  AdamOptimizer::Options theta_options;
+  theta_options.learning_rate = config_.learning_rate;
+  opt_theta_ =
+      std::make_unique<AdamOptimizer>(model_->Parameters(), theta_options);
+}
+
+Result<NeurSCEstimator::Prepared> NeurSCEstimator::Prepare(
+    const Graph& query) {
+  Prepared prep;
+  if (config_.use_substructure_extraction) {
+    auto extraction = ExtractSubstructures(query, data_, config_.filter);
+    if (!extraction.ok()) return extraction.status();
+    prep.extraction = std::move(extraction).value();
+  } else {
+    prep.extraction.early_terminate = false;
+    prep.extraction.substructures.push_back(
+        WholeGraphSubstructure(data_, query.NumVertices()));
+  }
+  prep.query_features = features_.Compute(query);
+  prep.sub_features.reserve(prep.extraction.substructures.size());
+  for (const auto& sub : prep.extraction.substructures) {
+    prep.sub_features.push_back(features_.Compute(sub.graph));
+  }
+  return prep;
+}
+
+void NeurSCEstimator::UpdateCritic(
+    const Matrix& query_repr, const Matrix& sub_repr,
+    const std::vector<std::vector<VertexId>>& candidates) {
+  for (int it = 0; it < config_.disc_iters; ++it) {
+    Tape tape;
+    Var hq = tape.Constant(query_repr);
+    Var hs = tape.Constant(sub_repr);
+    Var sq = critic_->Score(&tape, hq);
+    Var ss = critic_->Score(&tape, hs);
+    Correspondence pairs = SelectCorrespondenceByScores(
+        tape.Value(sq), tape.Value(ss), candidates);
+    if (pairs.size() == 0) return;
+    Var lw = WassersteinLoss(&tape, sq, ss, pairs);
+    // The critic maximizes L_w, i.e. minimizes -L_w.
+    Var loss = tape.Scale(lw, -1.0f);
+    opt_omega_->ZeroGrad();
+    tape.Backward(loss);
+    opt_omega_->Step();
+    opt_omega_->ZeroGrad();
+    critic_->ClampWeights();
+  }
+}
+
+Var NeurSCEstimator::BuildQueryLoss(Tape* tape, const Graph& query,
+                                    const Prepared& prep,
+                                    double target_count, bool adversarial) {
+  const auto& subs = prep.extraction.substructures;
+  if (prep.extraction.early_terminate || subs.empty()) return Var{};
+
+  Var total_prediction{};
+  std::vector<Var> wasserstein_terms;
+  for (size_t j = 0; j < subs.size(); ++j) {
+    auto fw = model_->Forward(tape, query, subs[j], prep.query_features,
+                              prep.sub_features[j], &rng_);
+    total_prediction = total_prediction.valid()
+                           ? tape->Add(total_prediction, fw.prediction)
+                           : fw.prediction;
+    if (adversarial && config_.use_discriminator) {
+      if (config_.metric == DistanceMetric::kWasserstein) {
+        // Inner maximization on detached representations, then the
+        // estimator-side L_w term on the live graph.
+        UpdateCritic(tape->Value(fw.query_repr), tape->Value(fw.sub_repr),
+                     subs[j].local_candidates);
+        Var sq = critic_->Score(tape, fw.query_repr);
+        Var ss = critic_->Score(tape, fw.sub_repr);
+        Correspondence pairs = SelectCorrespondenceByScores(
+            tape->Value(sq), tape->Value(ss), subs[j].local_candidates);
+        if (pairs.size() > 0) {
+          wasserstein_terms.push_back(
+              WassersteinLoss(tape, sq, ss, pairs));
+        }
+      } else {
+        Correspondence pairs = SelectCorrespondenceByDistance(
+            tape->Value(fw.query_repr), tape->Value(fw.sub_repr),
+            subs[j].local_candidates, config_.metric);
+        if (pairs.size() > 0) {
+          wasserstein_terms.push_back(PairDistanceLoss(
+              tape, fw.query_repr, fw.sub_repr, pairs, config_.metric));
+        }
+      }
+    }
+  }
+
+  Var loss = tape->QErrorLoss(total_prediction, target_count);
+  if (!wasserstein_terms.empty()) {
+    Var lw_sum = wasserstein_terms[0];
+    for (size_t i = 1; i < wasserstein_terms.size(); ++i) {
+      lw_sum = tape->Add(lw_sum, wasserstein_terms[i]);
+    }
+    // Eq. 11 with the estimator *minimizing* the Wasserstein distance
+    // estimate (the generator side of the WGAN game): the L_w term enters
+    // with +beta/|G_sub| so that gradient descent pulls corresponding
+    // query/data representations together.
+    float w = static_cast<float>(config_.beta /
+                                 static_cast<double>(subs.size()));
+    loss = tape->Add(tape->Scale(loss, 1.0f - static_cast<float>(config_.beta)),
+                     tape->Scale(lw_sum, w));
+  }
+  return loss;
+}
+
+Result<TrainStats> NeurSCEstimator::Train(
+    const std::vector<TrainingExample>& examples) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("no training examples");
+  }
+  Timer total_timer;
+  TrainStats stats;
+
+  // Extraction and feature initialization are query-deterministic: do them
+  // once (Alg. 3 recomputes per epoch; hoisting is purely an optimization).
+  std::vector<Prepared> prepared;
+  std::vector<const TrainingExample*> usable;
+  prepared.reserve(examples.size());
+  for (const auto& example : examples) {
+    auto prep = Prepare(example.query);
+    if (!prep.ok()) return prep.status();
+    if (prep->extraction.early_terminate ||
+        prep->extraction.substructures.empty()) {
+      ++stats.examples_skipped;
+      continue;
+    }
+    prepared.push_back(std::move(prep).value());
+    usable.push_back(&example);
+  }
+  if (usable.empty()) {
+    return Status::InvalidArgument(
+        "all training examples early-terminated during extraction");
+  }
+  stats.examples_used = usable.size();
+
+  std::vector<size_t> indices(usable.size());
+  std::iota(indices.begin(), indices.end(), 0);
+
+  // Validation split for early stopping (held out of the training set).
+  std::vector<size_t> validation;
+  if (config_.validation_fraction > 0.0 && usable.size() >= 4) {
+    rng_.Shuffle(&indices);
+    size_t held = std::max<size_t>(
+        1, static_cast<size_t>(config_.validation_fraction *
+                               static_cast<double>(indices.size())));
+    held = std::min(held, indices.size() - 1);
+    validation.assign(indices.end() - static_cast<ptrdiff_t>(held),
+                      indices.end());
+    indices.resize(indices.size() - held);
+  }
+  auto validation_qerror = [&]() {
+    double total = 0.0;
+    size_t n = 0;
+    for (size_t idx : validation) {
+      Tape tape;
+      Var loss = BuildQueryLoss(&tape, usable[idx]->query, prepared[idx],
+                                usable[idx]->count, /*adversarial=*/false);
+      if (!loss.valid()) continue;
+      total += tape.Value(loss).scalar();
+      ++n;
+    }
+    return n > 0 ? total / static_cast<double>(n) : 0.0;
+  };
+  double best_validation = 1e300;
+  size_t epochs_since_best = 0;
+  std::vector<Matrix> best_weights;
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    Timer epoch_timer;
+    bool adversarial = epoch >= config_.pretrain_epochs;
+    rng_.Shuffle(&indices);
+    double loss_sum = 0.0;
+    size_t loss_count = 0;
+    for (size_t start = 0; start < indices.size();
+         start += config_.batch_size) {
+      size_t end = std::min(start + config_.batch_size, indices.size());
+      opt_theta_->ZeroGrad();
+      if (opt_omega_ != nullptr) opt_omega_->ZeroGrad();
+      for (size_t i = start; i < end; ++i) {
+        size_t idx = indices[i];
+        Tape tape;
+        Var loss = BuildQueryLoss(&tape, usable[idx]->query, prepared[idx],
+                                  usable[idx]->count, adversarial);
+        if (!loss.valid()) continue;
+        loss_sum += tape.Value(loss).scalar();
+        ++loss_count;
+        tape.Backward(loss);
+      }
+      // The estimator step must not consume gradients that leaked into the
+      // critic during the combined backward pass.
+      if (opt_omega_ != nullptr) opt_omega_->ZeroGrad();
+      opt_theta_->ClipGradNorm(config_.grad_clip_norm);
+      opt_theta_->Step();
+      opt_theta_->ZeroGrad();
+    }
+    stats.epoch_mean_loss.push_back(loss_count > 0 ? loss_sum / loss_count
+                                                   : 0.0);
+    stats.epoch_seconds.push_back(epoch_timer.ElapsedSeconds());
+    NEURSC_LOG(Debug) << "epoch " << epoch << (adversarial ? " [adv]" : "")
+                      << " mean loss " << stats.epoch_mean_loss.back();
+
+    if (!validation.empty()) {
+      double v = validation_qerror();
+      stats.epoch_validation_qerror.push_back(v);
+      if (v < best_validation - 1e-9) {
+        best_validation = v;
+        epochs_since_best = 0;
+        best_weights.clear();
+        for (Parameter* p : model_->Parameters()) {
+          best_weights.push_back(p->value);
+        }
+      } else if (++epochs_since_best >= config_.early_stop_patience) {
+        stats.early_stopped = true;
+        break;
+      }
+    }
+  }
+  // Restore the best-validation weights if early stopping tracked any.
+  if (!best_weights.empty()) {
+    auto params = model_->Parameters();
+    for (size_t i = 0; i < params.size() && i < best_weights.size(); ++i) {
+      params[i]->value = best_weights[i];
+    }
+  }
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return stats;
+}
+
+namespace {
+
+std::vector<Parameter*> AllModelParameters(WEstModel* model,
+                                           Discriminator* critic) {
+  std::vector<Parameter*> params = model->Parameters();
+  if (critic != nullptr) {
+    for (Parameter* p : critic->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace
+
+Status NeurSCEstimator::SaveModel(const std::string& path) {
+  return SaveParametersToFile(AllModelParameters(model_.get(), critic_.get()),
+                              path);
+}
+
+Status NeurSCEstimator::LoadModel(const std::string& path) {
+  return LoadParametersFromFile(
+      AllModelParameters(model_.get(), critic_.get()), path);
+}
+
+Result<EstimateInfo> NeurSCEstimator::Estimate(const Graph& query) {
+  Timer timer;
+  auto prep = Prepare(query);
+  if (!prep.ok()) return prep.status();
+  EstimateInfo info;
+  info.extraction_seconds = timer.ElapsedSeconds();
+  info.num_substructures = prep->extraction.substructures.size();
+  if (prep->extraction.early_terminate ||
+      prep->extraction.substructures.empty()) {
+    info.early_terminated = true;
+    info.count = 0.0;
+    return info;
+  }
+
+  // Sec. 5.8: evaluate a uniform sample of ceil(r_s * |G_sub|)
+  // substructures and scale the sum by the inverse sampling fraction.
+  const size_t total = prep->extraction.substructures.size();
+  size_t used = total;
+  std::vector<size_t> selected(total);
+  std::iota(selected.begin(), selected.end(), 0);
+  if (config_.sample_rate < 1.0 && total > 1) {
+    used = static_cast<size_t>(
+        std::ceil(config_.sample_rate * static_cast<double>(total)));
+    used = std::max<size_t>(1, std::min(used, total));
+    rng_.Shuffle(&selected);
+    selected.resize(used);
+  }
+  info.num_used = used;
+
+  Timer inference_timer;
+  double sum = 0.0;
+  for (size_t idx : selected) {
+    Tape tape;
+    auto fw = model_->Forward(&tape, query,
+                              prep->extraction.substructures[idx],
+                              prep->query_features, prep->sub_features[idx],
+                              &rng_);
+    sum += tape.Value(fw.prediction).scalar();
+  }
+  info.count = sum * static_cast<double>(total) / static_cast<double>(used);
+  info.inference_seconds = inference_timer.ElapsedSeconds();
+  return info;
+}
+
+Result<EstimateInfo> NeurSCEstimator::EstimateOnSubstructures(
+    const Graph& query, const ExtractionResult& ext) {
+  EstimateInfo info;
+  info.num_substructures = ext.substructures.size();
+  if (ext.early_terminate || ext.substructures.empty()) {
+    info.early_terminated = true;
+    return info;
+  }
+  Timer timer;
+  Matrix query_features = features_.Compute(query);
+  double sum = 0.0;
+  for (const auto& sub : ext.substructures) {
+    Tape tape;
+    Matrix sub_features = features_.Compute(sub.graph);
+    auto fw = model_->Forward(&tape, query, sub, query_features,
+                              sub_features, &rng_);
+    sum += tape.Value(fw.prediction).scalar();
+  }
+  info.num_used = ext.substructures.size();
+  info.count = sum;
+  info.inference_seconds = timer.ElapsedSeconds();
+  return info;
+}
+
+}  // namespace neursc

@@ -1,0 +1,166 @@
+#ifndef NEURSC_CORE_NEURSC_H_
+#define NEURSC_CORE_NEURSC_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/discriminator.h"
+#include "core/feature_init.h"
+#include "core/west.h"
+#include "graph/graph.h"
+#include "matching/candidate_filter.h"
+#include "matching/substructure.h"
+#include "nn/optimizer.h"
+
+namespace neursc {
+
+/// End-to-end configuration of the NeurSC estimator (Alg. 1 + Alg. 3).
+/// Defaults are the paper's Sec. 6.1 settings scaled down for in-harness
+/// runs (the paper trains 30-150 epochs at 128-dim; see DESIGN.md).
+struct NeurSCConfig {
+  WEstConfig west;
+  CandidateFilterOptions filter;
+
+  // --- Training (Alg. 3) ---
+  double learning_rate = 1e-3;         // alpha_theta
+  double disc_learning_rate = 1e-3;    // alpha_omega
+  size_t batch_size = 20;              // n_batch
+  /// beta of Eq. 11, balancing L_c against L_w.
+  double beta = 0.8;
+  /// iter_omega: discriminator steps per (query, substructure) pair.
+  int disc_iters = 1;
+  size_t disc_hidden = 32;
+  float disc_clip = 0.01f;
+  /// Epochs trained with L_c only before the adversarial phase starts
+  /// (Sec. 5.6's two-stage schedule avoiding representation collapse).
+  size_t pretrain_epochs = 4;
+  /// Total training epochs (pretrain + adversarial).
+  size_t epochs = 12;
+  double grad_clip_norm = 5.0;
+  /// Fraction of training examples held out for validation-based early
+  /// stopping; 0 disables early stopping. When enabled, training stops
+  /// after `early_stop_patience` epochs without validation improvement
+  /// and the best-validation weights are restored.
+  double validation_fraction = 0.0;
+  size_t early_stop_patience = 3;
+
+  // --- Ablations / variants ---
+  /// false => NeurSC-D (dual GNN, no discriminator).
+  bool use_discriminator = true;
+  /// false => "NeurSC w/o SE": the whole data graph is the single
+  /// substructure; forces intra-only, no discriminator.
+  bool use_substructure_extraction = true;
+  /// Discriminator distance metric (Fig. 12 variants).
+  DistanceMetric metric = DistanceMetric::kWasserstein;
+  /// Substructure sample rate r_s at inference time (Sec. 5.8).
+  double sample_rate = 1.0;
+
+  uint64_t seed = 99;
+};
+
+/// One supervised example: a query graph and its ground-truth count on the
+/// estimator's data graph.
+struct TrainingExample {
+  Graph query;
+  double count = 0.0;
+};
+
+/// Per-query estimation output with a timing breakdown.
+struct EstimateInfo {
+  double count = 0.0;
+  /// True iff estimation short-circuited to 0 (empty candidate set or
+  /// candidate universe smaller than the query).
+  bool early_terminated = false;
+  size_t num_substructures = 0;
+  /// Substructures actually evaluated (< num_substructures when r_s < 1).
+  size_t num_used = 0;
+  double extraction_seconds = 0.0;
+  double inference_seconds = 0.0;
+};
+
+/// Training progress summary.
+struct TrainStats {
+  std::vector<double> epoch_mean_loss;
+  /// Mean validation q-error per epoch; empty when validation is off.
+  std::vector<double> epoch_validation_qerror;
+  std::vector<double> epoch_seconds;
+  double total_seconds = 0.0;
+  size_t examples_used = 0;
+  size_t examples_skipped = 0;
+  /// True iff early stopping ended training before config.epochs.
+  bool early_stopped = false;
+};
+
+/// The NeurSC estimator bound to one data graph: substructure extraction
+/// (Sec. 4) plus the WEst network (Sec. 5) and its adversarial trainer.
+class NeurSCEstimator {
+ public:
+  NeurSCEstimator(const Graph& data, NeurSCConfig config);
+
+  /// Trains on `examples` following Alg. 3 (with the L_c-only pretraining
+  /// stage of Sec. 5.6). Deterministic given the config seed.
+  Result<TrainStats> Train(const std::vector<TrainingExample>& examples);
+
+  /// Estimates c(q) for one query (Alg. 1), sampling substructures at the
+  /// configured r_s.
+  Result<EstimateInfo> Estimate(const Graph& query);
+
+  /// Estimate using externally supplied substructures (the "perfect
+  /// substructure" ablation feeds ground-truth-derived ones).
+  Result<EstimateInfo> EstimateOnSubstructures(const Graph& query,
+                                               const ExtractionResult& ext);
+
+  /// Persists the trained weights (estimation network, and the critic if
+  /// enabled). Load requires an estimator constructed with an identical
+  /// configuration.
+  Status SaveModel(const std::string& path);
+  Status LoadModel(const std::string& path);
+
+  /// Adjusts the inference-time substructure sample rate r_s (Sec. 5.8)
+  /// without retraining; clamped to (0, 1].
+  void set_sample_rate(double rate) {
+    config_.sample_rate = std::min(std::max(rate, 1e-6), 1.0);
+  }
+
+  const NeurSCConfig& config() const { return config_; }
+  const Graph& data() const { return data_; }
+  WEstModel& model() { return *model_; }
+  /// Null when the configuration disables the discriminator.
+  Discriminator* critic() { return critic_.get(); }
+
+ private:
+  /// Extraction + feature computation for one query (cached per training
+  /// example).
+  struct Prepared {
+    ExtractionResult extraction;
+    Matrix query_features;
+    std::vector<Matrix> sub_features;
+  };
+
+  Result<Prepared> Prepare(const Graph& query);
+  /// Runs the discriminator's inner maximization (Alg. 3 lines 10-12) on
+  /// detached representations.
+  void UpdateCritic(const Matrix& query_repr, const Matrix& sub_repr,
+                    const std::vector<std::vector<VertexId>>& candidates);
+  /// Forward + loss for one query on `tape`; returns the loss Var, or an
+  /// invalid Var when the query has no usable substructures.
+  Var BuildQueryLoss(Tape* tape, const Graph& query, const Prepared& prep,
+                     double target_count, bool adversarial);
+
+  const Graph& data_;
+  NeurSCConfig config_;
+  FeatureInitializer features_;
+  std::unique_ptr<WEstModel> model_;
+  std::unique_ptr<Discriminator> critic_;
+  std::unique_ptr<AdamOptimizer> opt_theta_;
+  std::unique_ptr<AdamOptimizer> opt_omega_;
+  Rng rng_;
+};
+
+}  // namespace neursc
+
+#endif  // NEURSC_CORE_NEURSC_H_

@@ -1,0 +1,57 @@
+#include "eval/reporting.h"
+
+#include <cstdio>
+
+namespace neursc {
+
+std::string FormatQ(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", value);
+  return buf;
+}
+
+std::string FormatBoxRow(const std::string& name, const BoxStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s | min %9s | q1 %9s | med %9s | q3 %9s | max %9s "
+                "(n=%zu)",
+                name.c_str(), FormatQ(stats.min).c_str(),
+                FormatQ(stats.q1).c_str(), FormatQ(stats.median).c_str(),
+                FormatQ(stats.q3).c_str(), FormatQ(stats.max).c_str(),
+                stats.count);
+  return buf;
+}
+
+void PrintSection(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size(), 0);
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+void PrintQErrorBox(const std::string& name,
+                    const std::vector<double>& signed_qerrors) {
+  std::printf("%s\n",
+              FormatBoxRow(name, ComputeBoxStats(signed_qerrors)).c_str());
+}
+
+}  // namespace neursc

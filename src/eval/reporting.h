@@ -1,0 +1,33 @@
+#ifndef NEURSC_EVAL_REPORTING_H_
+#define NEURSC_EVAL_REPORTING_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace neursc {
+
+/// Formats a number the way the paper's log-scale axes read: "1.2e+04",
+/// with under-estimates prefixed by '-' when the input is signed q-error.
+std::string FormatQ(double value);
+
+/// One labelled box-plot row, e.g.
+///   NeurSC      | min -3.2e+00 | q1 -1.4e+00 | med 1.1e+00 | q3 2.0e+00 | max 8.5e+00 (n=120)
+std::string FormatBoxRow(const std::string& name, const BoxStats& stats);
+
+/// Prints a section header ("=== Figure 7a: Yeast ===").
+void PrintSection(const std::string& title);
+
+/// Prints an aligned table: header row then data rows. Column widths are
+/// derived from content.
+void PrintTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Convenience: signed q-errors -> box stats -> printed row.
+void PrintQErrorBox(const std::string& name,
+                    const std::vector<double>& signed_qerrors);
+
+}  // namespace neursc
+
+#endif  // NEURSC_EVAL_REPORTING_H_

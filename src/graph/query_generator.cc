@@ -1,0 +1,128 @@
+#include "graph/query_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace neursc {
+
+QueryGenerator::QueryGenerator(const Graph& data, QueryGeneratorConfig config)
+    : data_(data), config_(config), rng_(config.seed) {}
+
+Result<Graph> QueryGenerator::Generate() {
+  const size_t k = config_.query_size;
+  if (k < 2) return Status::InvalidArgument("query_size must be >= 2");
+  if (data_.NumVertices() < k) {
+    return Status::InvalidArgument("data graph smaller than query size");
+  }
+
+  // Random walk with restarts-to-collected to gather k distinct vertices.
+  std::vector<VertexId> collected;
+  std::unordered_set<VertexId> seen;
+  VertexId current =
+      static_cast<VertexId>(rng_.UniformIndex(data_.NumVertices()));
+  if (data_.Degree(current) == 0) {
+    return Status::NotFound("walk started at isolated vertex");
+  }
+  collected.push_back(current);
+  seen.insert(current);
+  size_t steps = 0;
+  const size_t max_steps = 200 * k + 1000;
+  while (collected.size() < k && steps < max_steps) {
+    ++steps;
+    auto nbrs = data_.Neighbors(current);
+    if (nbrs.empty()) break;
+    VertexId next = nbrs[rng_.UniformIndex(nbrs.size())];
+    if (seen.insert(next).second) collected.push_back(next);
+    // With small probability jump back to a previously collected vertex so
+    // the walk explores around the whole collected set, not a single path.
+    current = rng_.Bernoulli(0.15)
+                  ? collected[rng_.UniformIndex(collected.size())]
+                  : next;
+  }
+  if (collected.size() < k) {
+    return Status::NotFound("random walk could not collect enough vertices");
+  }
+
+  auto induced = BuildInducedSubgraph(data_, collected);
+  if (!induced.ok()) return induced.status();
+  const Graph& dense = induced->graph;
+
+  if (config_.edge_keep_probability >= 1.0) {
+    if (!dense.IsConnected()) {
+      return Status::NotFound("induced walk subgraph disconnected");
+    }
+    return dense;
+  }
+
+  // Sparsify: keep a random spanning tree (via BFS from a random root over
+  // randomly permuted neighbor order), then keep each extra edge with
+  // probability edge_keep_probability.
+  const size_t n = dense.NumVertices();
+  std::vector<std::pair<VertexId, VertexId>> tree_edges;
+  std::vector<bool> in_tree(n, false);
+  std::vector<VertexId> frontier = {
+      static_cast<VertexId>(rng_.UniformIndex(n))};
+  in_tree[frontier[0]] = true;
+  while (!frontier.empty()) {
+    VertexId v = frontier[rng_.UniformIndex(frontier.size())];
+    std::vector<VertexId> candidates;
+    for (VertexId w : dense.Neighbors(v)) {
+      if (!in_tree[w]) candidates.push_back(w);
+    }
+    if (candidates.empty()) {
+      std::erase(frontier, v);
+      continue;
+    }
+    VertexId w = candidates[rng_.UniformIndex(candidates.size())];
+    in_tree[w] = true;
+    tree_edges.emplace_back(v, w);
+    frontier.push_back(w);
+  }
+  if (tree_edges.size() + 1 != n) {
+    return Status::NotFound("induced walk subgraph disconnected");
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(n, dense.NumEdges());
+  for (size_t v = 0; v < n; ++v) {
+    builder.AddVertex(dense.GetLabel(static_cast<VertexId>(v)));
+  }
+  std::unordered_set<uint64_t> tree_set;
+  for (auto [a, b] : tree_edges) {
+    if (a > b) std::swap(a, b);
+    tree_set.insert((static_cast<uint64_t>(a) << 32) | b);
+    NEURSC_RETURN_IF_ERROR(builder.AddEdge(a, b));
+  }
+  for (size_t v = 0; v < n; ++v) {
+    for (VertexId w : dense.Neighbors(static_cast<VertexId>(v))) {
+      if (v >= w) continue;
+      uint64_t key = (static_cast<uint64_t>(v) << 32) | w;
+      if (tree_set.count(key)) continue;
+      if (rng_.Bernoulli(config_.edge_keep_probability)) {
+        NEURSC_RETURN_IF_ERROR(
+            builder.AddEdge(static_cast<VertexId>(v), w));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<std::vector<Graph>> QueryGenerator::GenerateMany(size_t count) {
+  std::vector<Graph> queries;
+  queries.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * count + 100;
+  while (queries.size() < count && attempts < max_attempts) {
+    ++attempts;
+    auto q = Generate();
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+  if (queries.size() < count) {
+    return Status::ResourceExhausted(
+        "could not extract enough queries from data graph");
+  }
+  return queries;
+}
+
+}  // namespace neursc

@@ -1,0 +1,51 @@
+#ifndef NEURSC_GRAPH_QUERY_GENERATOR_H_
+#define NEURSC_GRAPH_QUERY_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace neursc {
+
+/// Controls random-walk query extraction.
+struct QueryGeneratorConfig {
+  /// Number of vertices per query.
+  size_t query_size = 8;
+  /// Probability of keeping each non-spanning-tree edge of the induced
+  /// subgraph; 1.0 yields induced (dense) queries, lower values yield
+  /// sparser queries while staying connected.
+  double edge_keep_probability = 1.0;
+  uint64_t seed = 7;
+};
+
+/// Extracts connected query graphs from a data graph by random walk, the
+/// construction used by the subgraph-matching benchmark workloads the paper
+/// evaluates on: walk until `query_size` distinct vertices are collected,
+/// take the induced subgraph (optionally sparsified along a spanning tree),
+/// and keep the data graph's labels.
+class QueryGenerator {
+ public:
+  /// `data` must outlive the generator and have >= query_size vertices in
+  /// its largest component for extraction to succeed.
+  explicit QueryGenerator(const Graph& data, QueryGeneratorConfig config = {});
+
+  /// Extracts one query. Fails if the walk cannot reach enough distinct
+  /// vertices (e.g. query_size larger than the component).
+  Result<Graph> Generate();
+
+  /// Extracts `count` queries (each connected, exactly config.query_size
+  /// vertices). Queries that fail extraction are retried; gives up after
+  /// 50*count attempts.
+  Result<std::vector<Graph>> GenerateMany(size_t count);
+
+ private:
+  const Graph& data_;
+  QueryGeneratorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace neursc
+
+#endif  // NEURSC_GRAPH_QUERY_GENERATOR_H_

@@ -1,0 +1,116 @@
+#include "graph/stats.h"
+
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace neursc {
+
+namespace {
+
+double Entropy(const std::unordered_map<uint64_t, size_t>& histogram,
+               size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [_, count] : histogram) {
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double LabelEntropy(const Graph& g) {
+  std::unordered_map<uint64_t, size_t> hist;
+  for (size_t v = 0; v < g.NumVertices(); ++v) {
+    ++hist[g.GetLabel(static_cast<VertexId>(v))];
+  }
+  return Entropy(hist, g.NumVertices());
+}
+
+double DegreeEntropy(const Graph& g) {
+  std::unordered_map<uint64_t, size_t> hist;
+  for (size_t v = 0; v < g.NumVertices(); ++v) {
+    ++hist[g.Degree(static_cast<VertexId>(v))];
+  }
+  return Entropy(hist, g.NumVertices());
+}
+
+uint32_t Eccentricity(const Graph& g, VertexId source) {
+  std::vector<uint32_t> dist(g.NumVertices(), UINT32_MAX);
+  std::queue<VertexId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  uint32_t furthest = 0;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop();
+    furthest = std::max(furthest, dist[v]);
+    for (VertexId w : g.Neighbors(v)) {
+      if (dist[w] == UINT32_MAX) {
+        dist[w] = dist[v] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return furthest;
+}
+
+uint32_t Diameter(const Graph& g) {
+  uint32_t diameter = 0;
+  for (size_t v = 0; v < g.NumVertices(); ++v) {
+    diameter = std::max(diameter, Eccentricity(g, static_cast<VertexId>(v)));
+  }
+  return diameter;
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  // For each edge (u, v) with u < v, count common neighbors w > v via
+  // sorted-list intersection; each triangle is counted once.
+  uint64_t triangles = 0;
+  for (size_t u = 0; u < g.NumVertices(); ++u) {
+    auto nu = g.Neighbors(static_cast<VertexId>(u));
+    for (VertexId v : nu) {
+      if (v <= u) continue;
+      auto nv = g.Neighbors(v);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] == nv[j]) {
+          if (nu[i] > v) ++triangles;
+          ++i;
+          ++j;
+        } else if (nu[i] < nv[j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  uint64_t wedges = 0;
+  for (size_t v = 0; v < g.NumVertices(); ++v) {
+    uint64_t d = g.Degree(static_cast<VertexId>(v));
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+QueryCharacteristics ComputeQueryCharacteristics(const Graph& q) {
+  QueryCharacteristics c;
+  c.label_entropy = LabelEntropy(q);
+  c.degree_entropy = DegreeEntropy(q);
+  c.density = q.Density();
+  c.diameter = Diameter(q);
+  return c;
+}
+
+}  // namespace neursc

@@ -1,0 +1,95 @@
+#include "matching/bipartite_matching.h"
+
+#include <limits>
+#include <queue>
+
+namespace neursc {
+
+namespace {
+
+constexpr size_t kUnmatched = std::numeric_limits<size_t>::max();
+constexpr size_t kInfDist = std::numeric_limits<size_t>::max();
+
+/// Hopcroft-Karp state. match_left[l] / match_right[r] hold the partner or
+/// kUnmatched.
+struct HopcroftKarp {
+  const BipartiteGraph& g;
+  std::vector<size_t> match_left;
+  std::vector<size_t> match_right;
+  std::vector<size_t> dist;
+
+  explicit HopcroftKarp(const BipartiteGraph& graph)
+      : g(graph),
+        match_left(graph.NumLeft(), kUnmatched),
+        match_right(graph.NumRight(), kUnmatched),
+        dist(graph.NumLeft(), kInfDist) {}
+
+  bool Bfs() {
+    std::queue<size_t> queue;
+    for (size_t l = 0; l < g.NumLeft(); ++l) {
+      if (match_left[l] == kUnmatched) {
+        dist[l] = 0;
+        queue.push(l);
+      } else {
+        dist[l] = kInfDist;
+      }
+    }
+    bool found_augmenting = false;
+    while (!queue.empty()) {
+      size_t l = queue.front();
+      queue.pop();
+      for (size_t r : g.NeighborsOfLeft(l)) {
+        size_t next = match_right[r];
+        if (next == kUnmatched) {
+          found_augmenting = true;
+        } else if (dist[next] == kInfDist) {
+          dist[next] = dist[l] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool Dfs(size_t l) {
+    for (size_t r : g.NeighborsOfLeft(l)) {
+      size_t next = match_right[r];
+      if (next == kUnmatched ||
+          (dist[next] == dist[l] + 1 && Dfs(next))) {
+        match_left[l] = r;
+        match_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInfDist;
+    return false;
+  }
+
+  size_t Run() {
+    size_t matching = 0;
+    while (Bfs()) {
+      for (size_t l = 0; l < g.NumLeft(); ++l) {
+        if (match_left[l] == kUnmatched && Dfs(l)) ++matching;
+      }
+    }
+    return matching;
+  }
+};
+
+}  // namespace
+
+size_t MaximumBipartiteMatching(const BipartiteGraph& g) {
+  HopcroftKarp hk(g);
+  return hk.Run();
+}
+
+bool HasLeftSaturatingMatching(const BipartiteGraph& g) {
+  if (g.NumLeft() > g.NumRight()) return false;
+  // Quick reject: a left vertex without edges can never be matched.
+  for (size_t l = 0; l < g.NumLeft(); ++l) {
+    if (g.NeighborsOfLeft(l).empty()) return false;
+  }
+  return MaximumBipartiteMatching(g) == g.NumLeft();
+}
+
+}  // namespace neursc

@@ -1,0 +1,44 @@
+#ifndef NEURSC_MATCHING_BIPARTITE_MATCHING_H_
+#define NEURSC_MATCHING_BIPARTITE_MATCHING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace neursc {
+
+/// A bipartite graph over left vertices [0, num_left) and right vertices
+/// [0, num_right), stored as per-left adjacency lists. Used by GraphQL's
+/// global refinement to test whether every neighbor of a query vertex can
+/// be injectively assigned to a distinct neighbor of a data vertex.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(size_t num_left, size_t num_right)
+      : num_right_(num_right), adjacency_(num_left) {}
+
+  void AddEdge(size_t left, size_t right) {
+    adjacency_[left].push_back(right);
+  }
+
+  size_t NumLeft() const { return adjacency_.size(); }
+  size_t NumRight() const { return num_right_; }
+  const std::vector<size_t>& NeighborsOfLeft(size_t left) const {
+    return adjacency_[left];
+  }
+
+ private:
+  size_t num_right_;
+  std::vector<std::vector<size_t>> adjacency_;
+};
+
+/// Size of a maximum matching, via Hopcroft-Karp (O(E sqrt(V))).
+size_t MaximumBipartiteMatching(const BipartiteGraph& g);
+
+/// True iff a matching saturating every left vertex exists. This is the
+/// "semi-perfect matching" test of GraphQL's global refinement (the paper's
+/// Sec. 4): every neighbor u' of query vertex u must be assignable to a
+/// distinct neighbor v' of data vertex v with v' in CS(u').
+bool HasLeftSaturatingMatching(const BipartiteGraph& g);
+
+}  // namespace neursc
+
+#endif  // NEURSC_MATCHING_BIPARTITE_MATCHING_H_

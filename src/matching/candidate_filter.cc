@@ -1,0 +1,176 @@
+#include "matching/candidate_filter.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "matching/bipartite_matching.h"
+
+namespace neursc {
+
+namespace {
+
+/// Sorted multiset of labels of vertices within distance <= radius of v,
+/// excluding v itself (v's own label is compared separately since candidates
+/// must share it exactly).
+std::vector<Label> NeighborhoodProfile(const Graph& g, VertexId v,
+                                       int radius) {
+  std::vector<Label> profile;
+  if (radius <= 1) {
+    profile.reserve(g.Degree(v));
+    for (VertexId w : g.Neighbors(v)) profile.push_back(g.GetLabel(w));
+  } else {
+    std::vector<uint32_t> dist(g.NumVertices(), UINT32_MAX);
+    std::queue<VertexId> queue;
+    dist[v] = 0;
+    queue.push(v);
+    while (!queue.empty()) {
+      VertexId x = queue.front();
+      queue.pop();
+      if (dist[x] >= static_cast<uint32_t>(radius)) continue;
+      for (VertexId w : g.Neighbors(x)) {
+        if (dist[w] == UINT32_MAX) {
+          dist[w] = dist[x] + 1;
+          profile.push_back(g.GetLabel(w));
+          queue.push(w);
+        }
+      }
+    }
+  }
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+/// True iff every distinct value of sorted `sub` appears in sorted `super`.
+bool IsSubSet(const std::vector<Label>& sub,
+              const std::vector<Label>& super) {
+  for (Label l : sub) {
+    if (!std::binary_search(super.begin(), super.end(), l)) return false;
+  }
+  return true;
+}
+
+/// True iff sorted multiset `sub` is contained in sorted multiset `super`.
+bool IsSubMultiset(const std::vector<Label>& sub,
+                   const std::vector<Label>& super) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < sub.size() && j < super.size()) {
+    if (sub[i] == super[j]) {
+      ++i;
+      ++j;
+    } else if (sub[i] > super[j]) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return i == sub.size();
+}
+
+}  // namespace
+
+bool CandidateSets::AnyEmpty() const {
+  for (const auto& cs : candidates) {
+    if (cs.empty()) return true;
+  }
+  return false;
+}
+
+size_t CandidateSets::UnionSize() const { return Union().size(); }
+
+std::vector<VertexId> CandidateSets::Union() const {
+  std::vector<VertexId> all;
+  for (const auto& cs : candidates) all.insert(all.end(), cs.begin(), cs.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+size_t CandidateSets::TotalSize() const {
+  size_t total = 0;
+  for (const auto& cs : candidates) total += cs.size();
+  return total;
+}
+
+Result<CandidateSets> ComputeCandidateSets(
+    const Graph& query, const Graph& data,
+    const CandidateFilterOptions& options) {
+  if (query.NumVertices() == 0) {
+    return Status::InvalidArgument("empty query graph");
+  }
+  const size_t nq = query.NumVertices();
+
+  // --- Stage 1: local pruning by neighborhood label profiles. ---
+  std::vector<std::vector<Label>> query_profiles(nq);
+  for (size_t u = 0; u < nq; ++u) {
+    query_profiles[u] =
+        NeighborhoodProfile(query, static_cast<VertexId>(u),
+                            options.profile_radius);
+  }
+
+  // Cache data profiles for vertices we actually inspect.
+  std::vector<std::vector<Label>> data_profiles(data.NumVertices());
+  std::vector<bool> data_profile_ready(data.NumVertices(), false);
+
+  CandidateSets result;
+  result.candidates.resize(nq);
+  for (size_t u = 0; u < nq; ++u) {
+    VertexId qu = static_cast<VertexId>(u);
+    Label label = query.GetLabel(qu);
+    for (VertexId v : data.VerticesWithLabel(label)) {
+      if (!options.homomorphism_safe &&
+          data.Degree(v) < query.Degree(qu)) {
+        continue;
+      }
+      if (!data_profile_ready[v]) {
+        data_profiles[v] =
+            NeighborhoodProfile(data, v, options.profile_radius);
+        data_profile_ready[v] = true;
+      }
+      bool keep = options.homomorphism_safe
+                      ? IsSubSet(query_profiles[u], data_profiles[v])
+                      : IsSubMultiset(query_profiles[u], data_profiles[v]);
+      if (keep) result.candidates[u].push_back(v);
+    }
+  }
+  if (options.local_only || options.homomorphism_safe) return result;
+
+  // Membership bitmaps, maintained across refinement sweeps.
+  std::vector<std::vector<bool>> is_candidate(
+      nq, std::vector<bool>(data.NumVertices(), false));
+  for (size_t u = 0; u < nq; ++u) {
+    for (VertexId v : result.candidates[u]) is_candidate[u][v] = true;
+  }
+
+  // --- Stage 2: global refinement by semi-perfect matching. ---
+  for (int round = 0; round < options.refinement_rounds; ++round) {
+    bool changed = false;
+    for (size_t u = 0; u < nq; ++u) {
+      VertexId qu = static_cast<VertexId>(u);
+      auto query_nbrs = query.Neighbors(qu);
+      std::vector<VertexId> kept;
+      kept.reserve(result.candidates[u].size());
+      for (VertexId v : result.candidates[u]) {
+        auto data_nbrs = data.Neighbors(v);
+        BipartiteGraph b(query_nbrs.size(), data_nbrs.size());
+        for (size_t i = 0; i < query_nbrs.size(); ++i) {
+          VertexId uprime = query_nbrs[i];
+          for (size_t j = 0; j < data_nbrs.size(); ++j) {
+            if (is_candidate[uprime][data_nbrs[j]]) b.AddEdge(i, j);
+          }
+        }
+        if (HasLeftSaturatingMatching(b)) {
+          kept.push_back(v);
+        } else {
+          is_candidate[u][v] = false;
+          changed = true;
+        }
+      }
+      result.candidates[u] = std::move(kept);
+    }
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace neursc

@@ -1,0 +1,99 @@
+#include "matching/substructure.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace neursc {
+
+namespace {
+
+/// Splits the induced subgraph over `universe` into connected components,
+/// keeps those at least as large as the query, and localizes candidate sets.
+Result<ExtractionResult> SplitIntoSubstructures(
+    const Graph& query, const Graph& data,
+    const std::vector<VertexId>& universe, const CandidateSets& candidates) {
+  ExtractionResult out;
+  out.candidates = candidates;
+  out.stats.candidate_union_size = universe.size();
+  out.stats.total_candidates = candidates.TotalSize();
+  if (universe.size() < query.NumVertices()) {
+    out.early_terminate = true;
+    return out;
+  }
+
+  auto induced = BuildInducedSubgraph(data, universe);
+  if (!induced.ok()) return induced.status();
+  const Graph& whole = induced->graph;
+
+  auto components = ConnectedComponents(whole);
+  out.stats.components_total = components.size();
+  for (const auto& component : components) {
+    if (component.size() < query.NumVertices()) continue;
+
+    // Component vertices are local ids within `whole`; translate back to
+    // data-graph ids to build the component graph.
+    std::vector<VertexId> component_data_ids;
+    component_data_ids.reserve(component.size());
+    for (VertexId local : component) {
+      component_data_ids.push_back(induced->original_id[local]);
+    }
+    auto sub = BuildInducedSubgraph(data, component_data_ids);
+    if (!sub.ok()) return sub.status();
+    if (sub->graph.NumEdges() < query.NumEdges()) continue;
+
+    Substructure s;
+    s.graph = std::move(sub->graph);
+    s.original_id = std::move(sub->original_id);
+
+    std::unordered_map<VertexId, VertexId> to_local;
+    to_local.reserve(s.original_id.size());
+    for (size_t i = 0; i < s.original_id.size(); ++i) {
+      to_local.emplace(s.original_id[i], static_cast<VertexId>(i));
+    }
+    s.local_candidates.resize(query.NumVertices());
+    for (size_t u = 0; u < query.NumVertices(); ++u) {
+      for (VertexId v : candidates.candidates[u]) {
+        auto it = to_local.find(v);
+        if (it != to_local.end()) {
+          s.local_candidates[u].push_back(it->second);
+        }
+      }
+      std::sort(s.local_candidates[u].begin(), s.local_candidates[u].end());
+    }
+    out.stats.largest_substructure_vertices =
+        std::max(out.stats.largest_substructure_vertices,
+                 s.graph.NumVertices());
+    out.substructures.push_back(std::move(s));
+  }
+  out.stats.components_kept = out.substructures.size();
+  if (out.substructures.empty()) out.early_terminate = true;
+  return out;
+}
+
+}  // namespace
+
+Result<ExtractionResult> ExtractSubstructures(
+    const Graph& query, const Graph& data,
+    const CandidateFilterOptions& filter_options) {
+  auto candidates = ComputeCandidateSets(query, data, filter_options);
+  if (!candidates.ok()) return candidates.status();
+  if (candidates->AnyEmpty()) {
+    ExtractionResult out;
+    out.early_terminate = true;
+    out.candidates = std::move(candidates).value();
+    return out;
+  }
+  auto universe = candidates->Union();
+  return SplitIntoSubstructures(query, data, universe, *candidates);
+}
+
+Result<ExtractionResult> BuildSubstructuresFromVertices(
+    const Graph& query, const Graph& data,
+    const std::vector<VertexId>& universe, const CandidateSets& candidates) {
+  std::vector<VertexId> sorted = universe;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return SplitIntoSubstructures(query, data, sorted, candidates);
+}
+
+}  // namespace neursc

@@ -1,0 +1,146 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace neursc {
+
+Matrix Matrix::GlorotUniform(size_t rows, size_t cols, Rng* rng) {
+  float s = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return Uniform(rows, cols, -s, s, rng);
+}
+
+Matrix Matrix::Uniform(size_t rows, size_t cols, float lo, float hi,
+                       Rng* rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    NEURSC_CHECK(rows[r].size() == m.cols_) << "ragged rows";
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r));
+  }
+  return m;
+}
+
+float Matrix::scalar() const {
+  NEURSC_CHECK(rows_ == 1 && cols_ == 1) << "scalar() on " << rows_ << "x"
+                                         << cols_;
+  return data_[0];
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  NEURSC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AxpyInPlace(float alpha, const Matrix& other) {
+  NEURSC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::ScaleInPlace(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+void Matrix::ClampInPlace(float limit) {
+  for (float& v : data_) v = std::clamp(v, -limit, limit);
+}
+
+Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
+  NEURSC_CHECK(a.cols_ == b.rows_) << "matmul shape mismatch";
+  Matrix c(a.rows_, b.cols_);
+  // i-k-j loop order: streams over b and c rows, cache friendly.
+  for (size_t i = 0; i < a.rows_; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t k = 0; k < a.cols_; ++k) {
+      float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  NEURSC_CHECK(a.rows_ == b.rows_) << "matmul^T shape mismatch";
+  Matrix c(a.cols_, b.cols_);
+  for (size_t k = 0; k < a.rows_; ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (size_t i = 0; i < a.cols_; ++i) {
+      float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.row(i);
+      for (size_t j = 0; j < b.cols_; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  NEURSC_CHECK(a.cols_ == b.cols_) << "matmul B^T shape mismatch";
+  Matrix c(a.rows_, b.rows_);
+  for (size_t i = 0; i < a.rows_; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t j = 0; j < b.rows_; ++j) {
+      const float* brow = b.row(j);
+      float dot = 0.0f;
+      for (size_t k = 0; k < a.cols_; ++k) dot += arow[k] * brow[k];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+float Matrix::Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float Matrix::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  NEURSC_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  float m = 0.0f;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+std::string Matrix::DebugString(int max_rows) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  for (size_t r = 0; r < rows_ && r < static_cast<size_t>(max_rows); ++r) {
+    out << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < cols_ && c < 8; ++c) {
+      out << at(r, c) << (c + 1 < cols_ ? ", " : "");
+    }
+    out << "]";
+  }
+  if (rows_ > static_cast<size_t>(max_rows)) out << " ...";
+  out << "]";
+  return out.str();
+}
+
+}  // namespace neursc

@@ -1,0 +1,66 @@
+#ifndef NEURSC_NN_OPTIMIZER_H_
+#define NEURSC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace neursc {
+
+/// Adam (Kingma & Ba) with optional decoupled L2 penalty, matching the
+/// paper's optimizer choice for both WEst and the discriminator.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  AdamOptimizer(std::vector<Parameter*> params, Options options);
+  /// Default options (lr=1e-3).
+  explicit AdamOptimizer(std::vector<Parameter*> params);
+
+  /// Applies one update from the accumulated gradients, then leaves the
+  /// gradients untouched (call ZeroGrad separately).
+  void Step();
+
+  /// Zeroes all tracked parameter gradients.
+  void ZeroGrad();
+
+  /// Clips the global gradient norm to `max_norm` if it exceeds it.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  const Options& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  std::vector<Matrix> m_;  // first moments
+  std::vector<Matrix> v_;  // second moments
+  int64_t step_count_ = 0;
+};
+
+/// Plain SGD, used in tests as a cross-check against Adam.
+class SgdOptimizer {
+ public:
+  SgdOptimizer(std::vector<Parameter*> params, double learning_rate);
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Parameter*> params_;
+  double learning_rate_;
+};
+
+/// Clamps every weight of `params` into [-limit, limit]; the WGAN weight
+/// clipping that enforces (approximate) 1-Lipschitzness of f_omega.
+void ClampParameters(const std::vector<Parameter*>& params, float limit);
+
+}  // namespace neursc
+
+#endif  // NEURSC_NN_OPTIMIZER_H_

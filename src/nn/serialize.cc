@@ -1,0 +1,70 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <limits>
+
+namespace neursc {
+
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      std::ostream& out) {
+  out << "neursc-params v1 " << params.size() << "\n";
+  out.precision(std::numeric_limits<float>::max_digits10);
+  for (const Parameter* p : params) {
+    out << "param " << p->value.rows() << " " << p->value.cols() << "\n";
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      out << p->value.data()[i] << (i + 1 == p->value.size() ? "\n" : " ");
+    }
+    if (p->value.size() == 0) out << "\n";
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status SaveParametersToFile(const std::vector<Parameter*>& params,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return SaveParameters(params, out);
+}
+
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      std::istream& in) {
+  std::string magic;
+  std::string version;
+  size_t count = 0;
+  if (!(in >> magic >> version >> count) || magic != "neursc-params" ||
+      version != "v1") {
+    return Status::IOError("bad header");
+  }
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", model has " + std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    std::string tag;
+    size_t rows = 0;
+    size_t cols = 0;
+    if (!(in >> tag >> rows >> cols) || tag != "param") {
+      return Status::IOError("malformed param header");
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument("parameter shape mismatch");
+    }
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      if (!(in >> p->value.data()[i])) {
+        return Status::IOError("truncated parameter data");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadParametersFromFile(const std::vector<Parameter*>& params,
+                              const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadParameters(params, in);
+}
+
+}  // namespace neursc

@@ -1,0 +1,35 @@
+#ifndef NEURSC_NN_SERIALIZE_H_
+#define NEURSC_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tape.h"
+
+namespace neursc {
+
+/// Text serialization of a parameter list (weights only, not gradients).
+/// Format:
+///   neursc-params v1 <count>
+///   param <rows> <cols>
+///   <rows*cols floats, row-major, whitespace separated>
+///   ...
+///
+/// Loading requires the destination parameter list to already have the
+/// same shapes (i.e. the model must be constructed with the same
+/// configuration); a mismatch is an InvalidArgument error.
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      std::ostream& out);
+Status SaveParametersToFile(const std::vector<Parameter*>& params,
+                            const std::string& path);
+
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      std::istream& in);
+Status LoadParametersFromFile(const std::vector<Parameter*>& params,
+                              const std::string& path);
+
+}  // namespace neursc
+
+#endif  // NEURSC_NN_SERIALIZE_H_

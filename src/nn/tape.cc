@@ -1,0 +1,649 @@
+#include "nn/tape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neursc {
+
+Var Tape::MakeNode(Matrix value, bool requires_grad,
+                   std::function<void(Tape*)> backward) {
+  Node node;
+  node.value = std::move(value);
+  node.requires_grad = requires_grad;
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var{static_cast<int>(nodes_.size()) - 1};
+}
+
+Matrix& Tape::EnsureGrad(int id) {
+  Node& node = nodes_[id];
+  if (node.grad.empty()) {
+    node.grad = Matrix(node.value.rows(), node.value.cols());
+  }
+  return node.grad;
+}
+
+void Tape::AccumulateGrad(int id, const Matrix& delta) {
+  EnsureGrad(id).AddInPlace(delta);
+}
+
+Var Tape::Constant(Matrix value) {
+  return MakeNode(std::move(value), false, nullptr);
+}
+
+Var Tape::Leaf(Parameter* param) {
+  NEURSC_CHECK(param != nullptr);
+  Var v = MakeNode(param->value, true, nullptr);
+  nodes_[v.id].param = param;
+  return v;
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  Matrix out = Matrix::MatMul(Value(a), Value(b));
+  bool req = Requires(a) || Requires(b);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  int bid = b.id;
+  nodes_[out_id].backward = [out_id, aid, bid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    if (t->nodes_[aid].requires_grad) {
+      t->AccumulateGrad(aid, Matrix::MatMulTransposeB(g, t->nodes_[bid].value));
+    }
+    if (t->nodes_[bid].requires_grad) {
+      t->AccumulateGrad(bid, Matrix::MatMulTransposeA(t->nodes_[aid].value, g));
+    }
+  };
+  return v;
+}
+
+Var Tape::Add(Var a, Var b) {
+  Matrix out = Value(a);
+  out.AddInPlace(Value(b));
+  bool req = Requires(a) || Requires(b);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  int bid = b.id;
+  nodes_[out_id].backward = [out_id, aid, bid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    if (t->nodes_[aid].requires_grad) t->AccumulateGrad(aid, g);
+    if (t->nodes_[bid].requires_grad) t->AccumulateGrad(bid, g);
+  };
+  return v;
+}
+
+Var Tape::AddRowBroadcast(Var x, Var bias) {
+  const Matrix& xv = Value(x);
+  const Matrix& bv = Value(bias);
+  NEURSC_CHECK(bv.rows() == 1 && bv.cols() == xv.cols());
+  Matrix out = xv;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) out.at(r, c) += bv.at(0, c);
+  }
+  bool req = Requires(x) || Requires(bias);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int xid = x.id;
+  int bid = bias.id;
+  nodes_[out_id].backward = [out_id, xid, bid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    if (t->nodes_[xid].requires_grad) t->AccumulateGrad(xid, g);
+    if (t->nodes_[bid].requires_grad) {
+      Matrix& bg = t->EnsureGrad(bid);
+      for (size_t r = 0; r < g.rows(); ++r) {
+        for (size_t c = 0; c < g.cols(); ++c) bg.at(0, c) += g.at(r, c);
+      }
+    }
+  };
+  return v;
+}
+
+Var Tape::Sub(Var a, Var b) {
+  Matrix out = Value(a);
+  out.AxpyInPlace(-1.0f, Value(b));
+  bool req = Requires(a) || Requires(b);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  int bid = b.id;
+  nodes_[out_id].backward = [out_id, aid, bid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    if (t->nodes_[aid].requires_grad) t->AccumulateGrad(aid, g);
+    if (t->nodes_[bid].requires_grad) {
+      Matrix neg = g;
+      neg.ScaleInPlace(-1.0f);
+      t->AccumulateGrad(bid, neg);
+    }
+  };
+  return v;
+}
+
+Var Tape::Mul(Var a, Var b) {
+  const Matrix& av = Value(a);
+  const Matrix& bv = Value(b);
+  NEURSC_CHECK(av.rows() == bv.rows() && av.cols() == bv.cols());
+  Matrix out = av;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= bv.data()[i];
+  bool req = Requires(a) || Requires(b);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  int bid = b.id;
+  nodes_[out_id].backward = [out_id, aid, bid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    if (t->nodes_[aid].requires_grad) {
+      Matrix d = g;
+      const Matrix& bv2 = t->nodes_[bid].value;
+      for (size_t i = 0; i < d.size(); ++i) d.data()[i] *= bv2.data()[i];
+      t->AccumulateGrad(aid, d);
+    }
+    if (t->nodes_[bid].requires_grad) {
+      Matrix d = g;
+      const Matrix& av2 = t->nodes_[aid].value;
+      for (size_t i = 0; i < d.size(); ++i) d.data()[i] *= av2.data()[i];
+      t->AccumulateGrad(bid, d);
+    }
+  };
+  return v;
+}
+
+Var Tape::Scale(Var a, float s) {
+  Matrix out = Value(a);
+  out.ScaleInPlace(s);
+  bool req = Requires(a);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  nodes_[out_id].backward = [out_id, aid, s](Tape* t) {
+    Matrix d = t->nodes_[out_id].grad;
+    d.ScaleInPlace(s);
+    t->AccumulateGrad(aid, d);
+  };
+  return v;
+}
+
+Var Tape::Relu(Var a) {
+  Matrix out = Value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  bool req = Requires(a);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  nodes_[out_id].backward = [out_id, aid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& x = t->nodes_[aid].value;
+    Matrix d = g;
+    for (size_t i = 0; i < d.size(); ++i) {
+      if (x.data()[i] <= 0.0f) d.data()[i] = 0.0f;
+    }
+    t->AccumulateGrad(aid, d);
+  };
+  return v;
+}
+
+Var Tape::LeakyRelu(Var a, float negative_slope) {
+  const float s = negative_slope;
+  Matrix out = Value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    float x = out.data()[i];
+    out.data()[i] = x > 0.0f ? x : s * x;
+  }
+  bool req = Requires(a);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  nodes_[out_id].backward = [out_id, aid, s](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& x = t->nodes_[aid].value;
+    Matrix d = g;
+    for (size_t i = 0; i < d.size(); ++i) {
+      if (x.data()[i] <= 0.0f) d.data()[i] *= s;
+    }
+    t->AccumulateGrad(aid, d);
+  };
+  return v;
+}
+
+Var Tape::Sigmoid(Var a) {
+  Matrix out = Value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  }
+  bool req = Requires(a);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  nodes_[out_id].backward = [out_id, aid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& y = t->nodes_[out_id].value;
+    Matrix d = g;
+    for (size_t i = 0; i < d.size(); ++i) {
+      float yi = y.data()[i];
+      d.data()[i] *= yi * (1.0f - yi);
+    }
+    t->AccumulateGrad(aid, d);
+  };
+  return v;
+}
+
+Var Tape::Tanh(Var a) {
+  Matrix out = Value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  bool req = Requires(a);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  nodes_[out_id].backward = [out_id, aid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& y = t->nodes_[out_id].value;
+    Matrix d = g;
+    for (size_t i = 0; i < d.size(); ++i) {
+      float yi = y.data()[i];
+      d.data()[i] *= 1.0f - yi * yi;
+    }
+    t->AccumulateGrad(aid, d);
+  };
+  return v;
+}
+
+Var Tape::Exp(Var a) {
+  Matrix out = Value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::exp(std::clamp(out.data()[i], -30.0f, 30.0f));
+  }
+  bool req = Requires(a);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  nodes_[out_id].backward = [out_id, aid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& y = t->nodes_[out_id].value;
+    Matrix d = g;
+    for (size_t i = 0; i < d.size(); ++i) {
+      // In the clamped region we use the boundary derivative exp(+-30)
+      // rather than the true 0 so that saturated predictions still receive
+      // a corrective signal (straight-through at the clamp).
+      d.data()[i] *= y.data()[i];
+    }
+    t->AccumulateGrad(aid, d);
+  };
+  return v;
+}
+
+Var Tape::Log(Var a) {
+  Matrix out = Value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::log(std::max(out.data()[i], 1e-12f));
+  }
+  bool req = Requires(a);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  nodes_[out_id].backward = [out_id, aid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& x = t->nodes_[aid].value;
+    Matrix d = g;
+    for (size_t i = 0; i < d.size(); ++i) {
+      d.data()[i] /= std::max(x.data()[i], 1e-12f);
+    }
+    t->AccumulateGrad(aid, d);
+  };
+  return v;
+}
+
+Var Tape::RowSoftmax(Var a) {
+  const Matrix& xv = Value(a);
+  Matrix out = xv;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    float mx = row[0];
+    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    float inv = static_cast<float>(1.0 / std::max(sum, 1e-30));
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
+  }
+  bool req = Requires(a);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  nodes_[out_id].backward = [out_id, aid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& y = t->nodes_[out_id].value;
+    Matrix d(y.rows(), y.cols());
+    for (size_t r = 0; r < y.rows(); ++r) {
+      double dot = 0.0;
+      for (size_t c = 0; c < y.cols(); ++c) {
+        dot += static_cast<double>(g.at(r, c)) * y.at(r, c);
+      }
+      for (size_t c = 0; c < y.cols(); ++c) {
+        d.at(r, c) = y.at(r, c) * (g.at(r, c) - static_cast<float>(dot));
+      }
+    }
+    t->AccumulateGrad(aid, d);
+  };
+  return v;
+}
+
+Var Tape::ConcatCols(Var a, Var b) {
+  const Matrix& av = Value(a);
+  const Matrix& bv = Value(b);
+  NEURSC_CHECK(av.rows() == bv.rows());
+  Matrix out(av.rows(), av.cols() + bv.cols());
+  for (size_t r = 0; r < av.rows(); ++r) {
+    std::copy(av.row(r), av.row(r) + av.cols(), out.row(r));
+    std::copy(bv.row(r), bv.row(r) + bv.cols(), out.row(r) + av.cols());
+  }
+  bool req = Requires(a) || Requires(b);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int aid = a.id;
+  int bid = b.id;
+  size_t acols = av.cols();
+  nodes_[out_id].backward = [out_id, aid, bid, acols](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    if (t->nodes_[aid].requires_grad) {
+      Matrix& ag = t->EnsureGrad(aid);
+      for (size_t r = 0; r < g.rows(); ++r) {
+        for (size_t c = 0; c < acols; ++c) ag.at(r, c) += g.at(r, c);
+      }
+    }
+    if (t->nodes_[bid].requires_grad) {
+      Matrix& bg = t->EnsureGrad(bid);
+      for (size_t r = 0; r < g.rows(); ++r) {
+        for (size_t c = 0; c < bg.cols(); ++c) {
+          bg.at(r, c) += g.at(r, acols + c);
+        }
+      }
+    }
+  };
+  return v;
+}
+
+Var Tape::ConcatRows(const std::vector<Var>& parts) {
+  NEURSC_CHECK(!parts.empty());
+  size_t total_rows = 0;
+  size_t cols = Value(parts[0]).cols();
+  bool req = false;
+  for (Var p : parts) {
+    NEURSC_CHECK(Value(p).cols() == cols);
+    total_rows += Value(p).rows();
+    req = req || Requires(p);
+  }
+  Matrix out(total_rows, cols);
+  size_t row = 0;
+  for (Var p : parts) {
+    const Matrix& pv = Value(p);
+    std::copy(pv.data(), pv.data() + pv.size(), out.row(row));
+    row += pv.rows();
+  }
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  std::vector<int> part_ids;
+  part_ids.reserve(parts.size());
+  for (Var p : parts) part_ids.push_back(p.id);
+  nodes_[out_id].backward = [out_id, part_ids = std::move(part_ids)](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    size_t row2 = 0;
+    for (int pid : part_ids) {
+      const Matrix& pv = t->nodes_[pid].value;
+      if (t->nodes_[pid].requires_grad) {
+        Matrix& pg = t->EnsureGrad(pid);
+        for (size_t r = 0; r < pv.rows(); ++r) {
+          for (size_t c = 0; c < pv.cols(); ++c) {
+            pg.at(r, c) += g.at(row2 + r, c);
+          }
+        }
+      }
+      row2 += pv.rows();
+    }
+  };
+  return v;
+}
+
+Var Tape::GatherRows(Var x, std::vector<uint32_t> rows) {
+  const Matrix& xv = Value(x);
+  Matrix out(rows.size(), xv.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    NEURSC_CHECK(rows[i] < xv.rows());
+    std::copy(xv.row(rows[i]), xv.row(rows[i]) + xv.cols(), out.row(i));
+  }
+  bool req = Requires(x);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int xid = x.id;
+  nodes_[out_id].backward = [out_id, xid, rows = std::move(rows)](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    Matrix& xg = t->EnsureGrad(xid);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t c = 0; c < g.cols(); ++c) {
+        xg.at(rows[i], c) += g.at(i, c);
+      }
+    }
+  };
+  return v;
+}
+
+Var Tape::ScatterAddRows(Var x, std::vector<uint32_t> targets,
+                         size_t num_rows) {
+  const Matrix& xv = Value(x);
+  NEURSC_CHECK(targets.size() == xv.rows());
+  Matrix out(num_rows, xv.cols());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    NEURSC_CHECK(targets[i] < num_rows);
+    for (size_t c = 0; c < xv.cols(); ++c) {
+      out.at(targets[i], c) += xv.at(i, c);
+    }
+  }
+  bool req = Requires(x);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int xid = x.id;
+  nodes_[out_id].backward =
+      [out_id, xid, targets = std::move(targets)](Tape* t) {
+        const Matrix& g = t->nodes_[out_id].grad;
+        Matrix& xg = t->EnsureGrad(xid);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          for (size_t c = 0; c < g.cols(); ++c) {
+            xg.at(i, c) += g.at(targets[i], c);
+          }
+        }
+      };
+  return v;
+}
+
+Var Tape::SegmentSoftmax(Var logits, std::vector<uint32_t> segments,
+                         size_t num_segments) {
+  const Matrix& xv = Value(logits);
+  NEURSC_CHECK(xv.cols() == 1 && segments.size() == xv.rows());
+  Matrix out(xv.rows(), 1);
+  std::vector<float> seg_max(num_segments, -1e30f);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    NEURSC_CHECK(segments[i] < num_segments);
+    seg_max[segments[i]] = std::max(seg_max[segments[i]], xv.at(i, 0));
+  }
+  std::vector<double> seg_sum(num_segments, 0.0);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    float e = std::exp(xv.at(i, 0) - seg_max[segments[i]]);
+    out.at(i, 0) = e;
+    seg_sum[segments[i]] += e;
+  }
+  for (size_t i = 0; i < segments.size(); ++i) {
+    out.at(i, 0) =
+        static_cast<float>(out.at(i, 0) / std::max(seg_sum[segments[i]], 1e-30));
+  }
+  bool req = Requires(logits);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int xid = logits.id;
+  nodes_[out_id].backward = [out_id, xid, segments = std::move(segments),
+                             num_segments](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& y = t->nodes_[out_id].value;
+    // dL/dx_i = y_i * (g_i - sum_{j in seg(i)} g_j y_j)
+    std::vector<double> seg_dot(num_segments, 0.0);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      seg_dot[segments[i]] +=
+          static_cast<double>(g.at(i, 0)) * y.at(i, 0);
+    }
+    Matrix d(y.rows(), 1);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      d.at(i, 0) = y.at(i, 0) *
+                   (g.at(i, 0) - static_cast<float>(seg_dot[segments[i]]));
+    }
+    t->AccumulateGrad(xid, d);
+  };
+  return v;
+}
+
+Var Tape::ColBroadcastMul(Var x, Var w) {
+  const Matrix& xv = Value(x);
+  const Matrix& wv = Value(w);
+  NEURSC_CHECK(wv.cols() == 1 && wv.rows() == xv.rows());
+  Matrix out = xv;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float wr = wv.at(r, 0);
+    for (size_t c = 0; c < out.cols(); ++c) out.at(r, c) *= wr;
+  }
+  bool req = Requires(x) || Requires(w);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int xid = x.id;
+  int wid = w.id;
+  nodes_[out_id].backward = [out_id, xid, wid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    const Matrix& xv2 = t->nodes_[xid].value;
+    const Matrix& wv2 = t->nodes_[wid].value;
+    if (t->nodes_[xid].requires_grad) {
+      Matrix d = g;
+      for (size_t r = 0; r < d.rows(); ++r) {
+        float wr = wv2.at(r, 0);
+        for (size_t c = 0; c < d.cols(); ++c) d.at(r, c) *= wr;
+      }
+      t->AccumulateGrad(xid, d);
+    }
+    if (t->nodes_[wid].requires_grad) {
+      Matrix d(wv2.rows(), 1);
+      for (size_t r = 0; r < g.rows(); ++r) {
+        float dot = 0.0f;
+        for (size_t c = 0; c < g.cols(); ++c) dot += g.at(r, c) * xv2.at(r, c);
+        d.at(r, 0) = dot;
+      }
+      t->AccumulateGrad(wid, d);
+    }
+  };
+  return v;
+}
+
+Var Tape::SumRows(Var x) {
+  const Matrix& xv = Value(x);
+  Matrix out(1, xv.cols());
+  for (size_t r = 0; r < xv.rows(); ++r) {
+    for (size_t c = 0; c < xv.cols(); ++c) out.at(0, c) += xv.at(r, c);
+  }
+  bool req = Requires(x);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int xid = x.id;
+  nodes_[out_id].backward = [out_id, xid](Tape* t) {
+    const Matrix& g = t->nodes_[out_id].grad;
+    Matrix& xg = t->EnsureGrad(xid);
+    for (size_t r = 0; r < xg.rows(); ++r) {
+      for (size_t c = 0; c < xg.cols(); ++c) xg.at(r, c) += g.at(0, c);
+    }
+  };
+  return v;
+}
+
+Var Tape::MeanRows(Var x) {
+  size_t n = Value(x).rows();
+  Var s = SumRows(x);
+  return n > 0 ? Scale(s, 1.0f / static_cast<float>(n)) : s;
+}
+
+Var Tape::ReduceSum(Var x) {
+  const Matrix& xv = Value(x);
+  Matrix out = Matrix::Scalar(xv.Sum());
+  bool req = Requires(x);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int xid = x.id;
+  nodes_[out_id].backward = [out_id, xid](Tape* t) {
+    float g = t->nodes_[out_id].grad.at(0, 0);
+    Matrix& xg = t->EnsureGrad(xid);
+    for (size_t i = 0; i < xg.size(); ++i) xg.data()[i] += g;
+  };
+  return v;
+}
+
+Var Tape::QErrorLoss(Var pred, double target, double eps) {
+  const Matrix& pv = Value(pred);
+  NEURSC_CHECK(pv.rows() == 1 && pv.cols() == 1);
+  double c_hat = pv.at(0, 0);
+  double c = std::max(target, 1.0);
+  double under = c / (c_hat + eps);   // penalizes underestimation
+  double over = c_hat / c;            // penalizes overestimation
+  Matrix out = Matrix::Scalar(static_cast<float>(std::max(under, over)));
+  bool req = Requires(pred);
+  Var v = MakeNode(std::move(out), req, nullptr);
+  if (!req) return v;
+  int out_id = v.id;
+  int pid = pred.id;
+  nodes_[out_id].backward = [out_id, pid, c, c_hat, eps, under,
+                             over](Tape* t) {
+    float g = t->nodes_[out_id].grad.at(0, 0);
+    double d = (under >= over) ? -c / ((c_hat + eps) * (c_hat + eps))
+                               : 1.0 / c;
+    Matrix delta = Matrix::Scalar(static_cast<float>(g * d));
+    t->AccumulateGrad(pid, delta);
+  };
+  return v;
+}
+
+void Tape::Backward(Var loss) {
+  NEURSC_CHECK(!backward_done_) << "Backward() may be called once per tape";
+  backward_done_ = true;
+  const Matrix& lv = Value(loss);
+  NEURSC_CHECK(lv.rows() == 1 && lv.cols() == 1)
+      << "Backward target must be scalar";
+  EnsureGrad(loss.id).at(0, 0) = 1.0f;
+  for (int id = static_cast<int>(nodes_.size()) - 1; id >= 0; --id) {
+    Node& node = nodes_[id];
+    if (!node.requires_grad || node.grad.empty()) continue;
+    if (node.backward) node.backward(this);
+    if (node.param != nullptr) node.param->grad.AddInPlace(node.grad);
+  }
+}
+
+}  // namespace neursc

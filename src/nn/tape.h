@@ -1,0 +1,141 @@
+#ifndef NEURSC_NN_TAPE_H_
+#define NEURSC_NN_TAPE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace neursc {
+
+/// A trainable tensor: value plus accumulated gradient. Owned by modules
+/// (Linear, GIN, ...); the Tape only references parameters during a
+/// forward/backward pass.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  explicit Parameter(Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+/// Lightweight handle to a node on the tape.
+struct Var {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Eager reverse-mode automatic differentiation.
+///
+/// Operations execute immediately and record a backward closure; calling
+/// Backward(loss) propagates d(loss)/d(node) to every node and accumulates
+/// into Parameter::grad for leaves created with Leaf(). A Tape represents a
+/// single forward pass: Clear() (or a fresh Tape) is required between
+/// passes. The op vocabulary is the minimal set needed by GNNs: dense
+/// algebra, pointwise nonlinearities, and segment (scatter/gather) ops for
+/// message passing and attention.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// A leaf with no gradient tracking (inputs, constants).
+  Var Constant(Matrix value);
+  /// A leaf bound to a trainable parameter; Backward() accumulates into
+  /// `param->grad`. The parameter must outlive the tape.
+  Var Leaf(Parameter* param);
+
+  const Matrix& Value(Var v) const { return nodes_[v.id].value; }
+  /// Gradient of the last Backward() target w.r.t. v. Zero matrix if the
+  /// node was not reached.
+  const Matrix& Grad(Var v) const { return nodes_[v.id].grad; }
+
+  // --- Dense algebra ---
+  Var MatMul(Var a, Var b);
+  /// Elementwise sum; shapes must match.
+  Var Add(Var a, Var b);
+  /// x (n x d) plus bias (1 x d) broadcast over rows.
+  Var AddRowBroadcast(Var x, Var bias);
+  Var Sub(Var a, Var b);
+  /// Elementwise product; shapes must match.
+  Var Mul(Var a, Var b);
+  Var Scale(Var a, float s);
+
+  // --- Pointwise nonlinearities ---
+  Var Relu(Var a);
+  Var LeakyRelu(Var a, float negative_slope = 0.2f);
+  Var Sigmoid(Var a);
+  Var Tanh(Var a);
+  /// exp() with input clamped to [-30, 30] for numeric safety; used to map
+  /// the predictor's log-scale output to a positive count.
+  Var Exp(Var a);
+  /// Natural log with the input floored at 1e-12.
+  Var Log(Var a);
+  /// Row-wise softmax (n x d): each row sums to 1. Used to interpret
+  /// representations as distributions for the KL/JS discriminator variants.
+  Var RowSoftmax(Var a);
+
+  // --- Structure ops ---
+  /// Horizontal concatenation [a | b]; row counts must match.
+  Var ConcatCols(Var a, Var b);
+  /// Vertical stacking of the given vars (column counts must match).
+  Var ConcatRows(const std::vector<Var>& parts);
+  /// out[i] = x[rows[i]]; duplicates allowed (gradient accumulates).
+  Var GatherRows(Var x, std::vector<uint32_t> rows);
+  /// out (num_rows x d) with out[targets[i]] += x[i].
+  Var ScatterAddRows(Var x, std::vector<uint32_t> targets, size_t num_rows);
+  /// Softmax of a column vector (m x 1) within each segment:
+  /// out[i] = exp(x[i]) / sum_{j: seg[j]==seg[i]} exp(x[j]), computed with
+  /// the per-segment max subtracted. Empty segments are fine.
+  Var SegmentSoftmax(Var logits, std::vector<uint32_t> segments,
+                     size_t num_segments);
+  /// Multiplies row i of x (m x d) by scalar w[i] (w is m x 1).
+  Var ColBroadcastMul(Var x, Var w);
+  /// Column-wise sum: (n x d) -> (1 x d). Sum-pooling readout.
+  Var SumRows(Var x);
+  /// Mean over rows: (n x d) -> (1 x d).
+  Var MeanRows(Var x);
+  /// Sum of all entries -> 1x1.
+  Var ReduceSum(Var x);
+
+  // --- Losses ---
+  /// q-error training loss (Eq. 10): max(target / (pred + eps),
+  /// pred / max(target, 1)). `pred` must be 1x1 and positive.
+  Var QErrorLoss(Var pred, double target, double eps = 1e-9);
+
+  /// Runs reverse-mode accumulation from `loss` (must be 1x1) with seed 1.
+  /// May be called once per tape.
+  void Backward(Var loss);
+
+  /// Number of recorded nodes (diagnostics/tests).
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;  // allocated lazily on first contribution
+    bool requires_grad = false;
+    Parameter* param = nullptr;
+    // Propagates this node's grad into its inputs' grads.
+    std::function<void(Tape*)> backward;
+  };
+
+  Var MakeNode(Matrix value, bool requires_grad,
+               std::function<void(Tape*)> backward);
+  /// Adds `delta` into node id's grad, allocating it on first touch.
+  void AccumulateGrad(int id, const Matrix& delta);
+  Matrix& EnsureGrad(int id);
+  bool Requires(Var v) const { return nodes_[v.id].requires_grad; }
+
+  std::vector<Node> nodes_;
+  bool backward_done_ = false;
+};
+
+}  // namespace neursc
+
+#endif  // NEURSC_NN_TAPE_H_

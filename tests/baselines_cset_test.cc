@@ -1,0 +1,117 @@
+#include "baselines/cset.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "matching/enumeration.h"
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(CSetTest, ExactOnSingleEdgeDistinctLabels) {
+  Graph data = MakeGraph({0, 1, 0, 1}, {{0, 1}, {2, 3}, {0, 3}});
+  CSetEstimator cset(data);
+  Graph query = MakeGraph({0, 1}, {{0, 1}});
+  auto est = cset.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 3.0, 1e-6);
+}
+
+TEST(CSetTest, ExactOnSingleEdgeSameLabel) {
+  Graph data = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  CSetEstimator cset(data);
+  Graph query = MakeGraph({0, 0}, {{0, 1}});
+  auto est = cset.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 4.0, 1e-6);  // 2 edges x 2 orientations
+}
+
+TEST(CSetTest, ExactOnStars) {
+  // Data: center(0) with three leaves labeled 1, plus noise.
+  Graph data = MakeGraph({0, 1, 1, 1, 0, 1},
+                         {{0, 1}, {0, 2}, {0, 3}, {4, 5}});
+  CSetEstimator cset(data);
+  // Star query: center 0, two leaves labeled 1.
+  Graph query = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});
+  auto est = cset.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  auto truth = CountSubgraphIsomorphisms(query, data);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth->count, 6u);  // 3*2 ordered leaf choices
+  EXPECT_NEAR(*est, 6.0, 1e-6);
+}
+
+TEST(CSetTest, ExactOnPathsThroughCenter) {
+  Graph data = MakeGraph({1, 0, 2, 1, 2}, {{0, 1}, {1, 2}, {3, 1}, {1, 4}});
+  CSetEstimator cset(data);
+  // Path 1-0-2 (labels: leaf 1, center 0, leaf 2).
+  Graph query = MakeGraph({1, 0, 2}, {{0, 1}, {1, 2}});
+  auto est = cset.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  auto truth = CountSubgraphIsomorphisms(query, data);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_NEAR(*est, static_cast<double>(truth->count), 1e-6);
+}
+
+TEST(CSetTest, ZeroWhenLabelPairAbsent) {
+  Graph data = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  CSetEstimator cset(data);
+  Graph query = MakeGraph({0, 2}, {{0, 1}});  // no 0-2 edge in data
+  auto est = cset.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 0.0);
+}
+
+TEST(CSetTest, TriangleEstimateIsFiniteAndFast) {
+  auto data = GenerateErdosRenyiGraph(200, 800, 3, 5);
+  ASSERT_TRUE(data.ok());
+  CSetEstimator cset(*data);
+  Graph query = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  auto est = cset.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(*est, 0.0);
+  EXPECT_TRUE(std::isfinite(*est));
+}
+
+TEST(CSetTest, StarCountMatchesEnumeration) {
+  auto data = GenerateErdosRenyiGraph(100, 350, 4, 9);
+  ASSERT_TRUE(data.ok());
+  CSetEstimator cset(*data);
+  // Random star query from the data graph.
+  Graph query = MakeGraph({1, 2, 3}, {{0, 1}, {0, 2}});
+  auto truth = CountSubgraphIsomorphisms(query, *data);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_NEAR(cset.StarCount(query, 0),
+              static_cast<double>(truth->count),
+              1e-6 * std::max<double>(1.0, truth->count));
+}
+
+
+TEST(CSetTest, FallingFactorialForRepeatedLeafLabels) {
+  // Star with two leaves of the same label: matches need two *distinct*
+  // data leaves, i.e. falling factorial 3*2 = 6 around the data center.
+  Graph data = MakeGraph({0, 1, 1, 1}, {{0, 1}, {0, 2}, {0, 3}});
+  CSetEstimator cset(data);
+  Graph query = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});
+  EXPECT_NEAR(cset.StarCount(query, 0), 6.0, 1e-9);
+  auto truth = CountSubgraphIsomorphisms(query, data);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth->count, 6u);
+  auto est = cset.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 6.0, 1e-6);
+}
+
+TEST(CSetTest, StarCountZeroWhenMultiplicityUnmet) {
+  // Query needs two leaves labeled 1 but every data center has only one.
+  Graph data = MakeGraph({0, 1, 0, 1}, {{0, 1}, {2, 3}});
+  CSetEstimator cset(data);
+  Graph query = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});
+  EXPECT_DOUBLE_EQ(cset.StarCount(query, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace neursc

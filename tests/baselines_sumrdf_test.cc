@@ -1,0 +1,106 @@
+#include "baselines/sumrdf.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "matching/enumeration.h"
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(SumRdfTest, ExactOnHomogeneousEdge) {
+  // One bucket per label: the possible-worlds estimate for an edge query
+  // with distinct labels equals the real edge count.
+  Graph data = MakeGraph({0, 1, 0, 1}, {{0, 1}, {2, 3}, {0, 3}});
+  SumRdfEstimator::Options options;
+  options.buckets_per_label = 1;
+  SumRdfEstimator sumrdf(data, options);
+  Graph query = MakeGraph({0, 1}, {{0, 1}});
+  auto est = sumrdf.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 3.0, 1e-6);
+}
+
+TEST(SumRdfTest, BucketCountGrowsWithOption) {
+  auto data = GenerateErdosRenyiGraph(200, 600, 4, 7);
+  ASSERT_TRUE(data.ok());
+  SumRdfEstimator::Options one;
+  one.buckets_per_label = 1;
+  SumRdfEstimator coarse(*data, one);
+  SumRdfEstimator::Options four;
+  four.buckets_per_label = 4;
+  SumRdfEstimator fine(*data, four);
+  EXPECT_GT(fine.NumBuckets(), coarse.NumBuckets());
+  EXPECT_EQ(coarse.NumBuckets(), data->NumLabels());
+}
+
+TEST(SumRdfTest, PathEstimateReasonable) {
+  auto data = GenerateErdosRenyiGraph(150, 500, 3, 11);
+  ASSERT_TRUE(data.ok());
+  SumRdfEstimator sumrdf(*data);
+  Graph query = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  auto est = sumrdf.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  auto truth = CountSubgraphIsomorphisms(query, *data);
+  ASSERT_TRUE(truth.ok());
+  // Homomorphism-style summary estimate: same order of magnitude.
+  if (truth->count > 0) {
+    EXPECT_GT(*est, 0.01 * static_cast<double>(truth->count));
+    EXPECT_LT(*est, 100.0 * static_cast<double>(truth->count));
+  }
+}
+
+TEST(SumRdfTest, TimesOutOnLargeQueries) {
+  auto data = GenerateErdosRenyiGraph(400, 1600, 2, 13);
+  ASSERT_TRUE(data.ok());
+  SumRdfEstimator::Options options;
+  options.buckets_per_label = 8;
+  options.time_limit_seconds = 1e-6;
+  SumRdfEstimator sumrdf(*data, options);
+  // A larger query makes the bucket enumeration blow past the tiny budget.
+  GraphBuilder b;
+  for (int i = 0; i < 12; ++i) b.AddVertex(i % 2);
+  for (int i = 0; i + 1 < 12; ++i) {
+    ASSERT_TRUE(b.AddEdge(i, i + 1).ok());
+  }
+  Graph query = std::move(b.Build()).value();
+  auto est = sumrdf.EstimateCount(query);
+  EXPECT_FALSE(est.ok());
+  EXPECT_TRUE(est.status().IsTimeout());
+}
+
+TEST(SumRdfTest, ZeroWhenLabelMissing) {
+  Graph data = MakeGraph({0, 1}, {{0, 1}});
+  SumRdfEstimator sumrdf(data);
+  Graph query = MakeGraph({5, 5}, {{0, 1}});
+  auto est = sumrdf.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 0.0);
+}
+
+
+TEST(SumRdfTest, SingleVertexQueryCountsLabelOccurrences) {
+  Graph data = MakeGraph({0, 0, 1}, {{0, 1}, {1, 2}});
+  SumRdfEstimator sumrdf(data);
+  Graph query = MakeGraph({0}, {});
+  auto est = sumrdf.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 2.0, 1e-6);
+}
+
+TEST(SumRdfTest, TriangleOnBipartiteDataIsZero) {
+  // Bipartite data (labels alternate): no 0-0 edges, so a same-label
+  // triangle has zero summary weight along at least one edge.
+  Graph data = MakeGraph({0, 1, 0, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  SumRdfEstimator sumrdf(data);
+  Graph query = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
+  auto est = sumrdf.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 0.0);
+}
+
+}  // namespace
+}  // namespace neursc

@@ -1,0 +1,149 @@
+#include "matching/candidate_filter.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/query_generator.h"
+#include "matching/enumeration.h"
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(CandidateFilterTest, LabelMismatchEmpties) {
+  Graph query = MakeGraph({5}, {});
+  Graph data = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  auto cs = ComputeCandidateSets(query, data);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_TRUE(cs->AnyEmpty());
+}
+
+TEST(CandidateFilterTest, LocalPruningUsesNeighborLabels) {
+  // Query: center labeled 0 with neighbors labeled 1 and 2.
+  Graph query = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}});
+  // Data: v0 (label 0) has neighbors labeled 1,2 -> candidate of u0.
+  //       v3 (label 0) has neighbors labeled 1,1 -> not a candidate.
+  Graph data = MakeGraph({0, 1, 2, 0, 1, 1},
+                         {{0, 1}, {0, 2}, {3, 4}, {3, 5}});
+  CandidateFilterOptions options;
+  options.local_only = true;
+  auto cs = ComputeCandidateSets(query, data, options);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->candidates[0], (std::vector<VertexId>{0}));
+}
+
+TEST(CandidateFilterTest, DegreeFilterApplies) {
+  Graph query = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});  // center degree 2
+  Graph data = MakeGraph({0, 1, 0, 1, 1}, {{0, 1}, {2, 3}, {2, 4}});
+  CandidateFilterOptions options;
+  options.local_only = true;
+  auto cs = ComputeCandidateSets(query, data, options);
+  ASSERT_TRUE(cs.ok());
+  // v0 has degree 1 < 2, only v2 qualifies for u0.
+  EXPECT_EQ(cs->candidates[0], (std::vector<VertexId>{2}));
+}
+
+TEST(CandidateFilterTest, GlobalRefinementPrunes) {
+  // Query: path u0(A)-u1(B)-u2(C).
+  Graph query = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  // Data: v0(A)-v1(B)-v2(C) is a real path.
+  //       v3(B) has neighbors v4(A) and v5(C)... but v4 lacks a B neighbor
+  //       with a C neighbor? Build: v4(A)-v3(B), v3(B)-v5(C): also real.
+  //       v6(B) with only an A neighbor v7 -> locally plausible for u1
+  //       only if it has both A and C neighbors; it doesn't, so local
+  //       pruning already removes it. For a pure *global* case: v8(B) with
+  //       neighbors v9(A) and v10(C), where v10 has no B neighbor other
+  //       than v8 — still fine. Instead make v9's profile wrong at
+  //       distance 2: global refinement with radius 1 profiles catches
+  //       cases where the *neighbor* fails membership. v11(A) adjacent to
+  //       v12(B), v12 adjacent to nothing labeled C: local pruning drops
+  //       v12 from CS(u1), and refinement must then drop v11 from CS(u0).
+  Graph data = MakeGraph({0, 1, 2, 1, 0, 2, 0, 1},
+                         {{0, 1},
+                          {1, 2},
+                          {4, 3},
+                          {3, 5},
+                          {6, 7}});
+  auto cs = ComputeCandidateSets(query, data);
+  ASSERT_TRUE(cs.ok());
+  // u0 (label A): v0 and v4 survive; v6's only neighbor v7 (B) was locally
+  // pruned from CS(u1) (no C neighbor), so refinement removes v6.
+  EXPECT_EQ(cs->candidates[0], (std::vector<VertexId>{0, 4}));
+  EXPECT_EQ(cs->candidates[1], (std::vector<VertexId>{1, 3}));
+  EXPECT_EQ(cs->candidates[2], (std::vector<VertexId>{2, 5}));
+}
+
+TEST(CandidateFilterTest, UnionHelpers) {
+  Graph query = MakeGraph({0, 0}, {{0, 1}});
+  Graph data = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  auto cs = ComputeCandidateSets(query, data);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_FALSE(cs->AnyEmpty());
+  EXPECT_EQ(cs->UnionSize(), cs->Union().size());
+  EXPECT_GE(cs->TotalSize(), cs->UnionSize());
+}
+
+// Definition 2 (complete candidate set) as a property: for every embedding
+// found by exact enumeration, every (u, v) pair must be inside CS(u). Swept
+// over random graphs and both radius settings.
+class CandidateCompletenessTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CandidateCompletenessTest, ContainsAllEmbeddingVertices) {
+  auto [seed, radius] = GetParam();
+  auto data = GenerateErdosRenyiGraph(24, 60, 3, seed);
+  ASSERT_TRUE(data.ok());
+  QueryGeneratorConfig qc;
+  qc.query_size = 3 + seed % 2;
+  qc.seed = seed + 100;
+  QueryGenerator generator(*data, qc);
+  auto query = generator.Generate();
+  if (!query.ok()) GTEST_SKIP();
+
+  CandidateFilterOptions options;
+  options.profile_radius = radius;
+  auto cs = ComputeCandidateSets(*query, *data, options);
+  ASSERT_TRUE(cs.ok());
+
+  EnumerationOptions eopts;
+  eopts.collect_embeddings = 100000;
+  auto counted = CountSubgraphIsomorphisms(*query, *data, eopts);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_GE(counted->count, 1u);  // query was extracted from data
+
+  for (const auto& embedding : counted->embeddings) {
+    for (size_t u = 0; u < embedding.size(); ++u) {
+      const auto& candidates = cs->candidates[u];
+      EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                     embedding[u]))
+          << "vertex " << embedding[u] << " missing from CS(" << u << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CandidateCompletenessTest,
+    ::testing::Combine(::testing::Range(1, 13), ::testing::Values(1, 2)));
+
+// The filter must never *increase* enumeration results: counting with
+// filtered candidates equals brute-force counting.
+TEST(CandidateFilterTest, FilteredEnumerationMatchesBruteForce) {
+  auto data = GenerateErdosRenyiGraph(14, 30, 2, 77);
+  ASSERT_TRUE(data.ok());
+  QueryGeneratorConfig qc;
+  qc.query_size = 3;
+  qc.seed = 5;
+  QueryGenerator generator(*data, qc);
+  auto query = generator.Generate();
+  ASSERT_TRUE(query.ok());
+  auto counted = CountSubgraphIsomorphisms(*query, *data);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->count, testing_util::BruteForceCount(*query, *data));
+}
+
+}  // namespace
+}  // namespace neursc

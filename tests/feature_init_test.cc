@@ -1,0 +1,109 @@
+#include "core/feature_init.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(BitsForTest, KnownValues) {
+  EXPECT_EQ(BitsFor(0), 1u);
+  EXPECT_EQ(BitsFor(1), 1u);
+  EXPECT_EQ(BitsFor(2), 2u);
+  EXPECT_EQ(BitsFor(3), 2u);
+  EXPECT_EQ(BitsFor(4), 3u);
+  EXPECT_EQ(BitsFor(255), 8u);
+  EXPECT_EQ(BitsFor(256), 9u);
+}
+
+TEST(FeatureInitTest, DimensionFormula) {
+  FeatureInitializer f(/*degree_bits=*/4, /*label_bits=*/3, /*num_hops=*/2);
+  EXPECT_EQ(f.FeatureDim(), 3u * 7u);
+}
+
+TEST(FeatureInitTest, SizedFromDataGraph) {
+  Graph data = MakeGraph({0, 1, 2, 3, 4, 5, 6, 7},
+                         {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  // Max degree 5 -> 3 bits; 8 labels -> max label 7 -> 3 bits.
+  FeatureInitializer f(data, 1);
+  EXPECT_EQ(f.degree_bits(), 3u);
+  EXPECT_EQ(f.label_bits(), 3u);
+  EXPECT_EQ(f.FeatureDim(), 2u * 6u);
+}
+
+TEST(FeatureInitTest, OwnBlockEncodesDegreeAndLabel) {
+  // Path: v0(l=2)-v1(l=5)-v2(l=1).
+  Graph g = MakeGraph({2, 5, 1}, {{0, 1}, {1, 2}});
+  FeatureInitializer f(/*degree_bits=*/3, /*label_bits=*/3, /*num_hops=*/0);
+  Matrix x = f.Compute(g);
+  ASSERT_EQ(x.cols(), 6u);
+  // v1: degree 2 -> bits 010 (LSB first: 0,1,0); label 5 -> 101 (1,0,1).
+  EXPECT_FLOAT_EQ(x.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 3), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 4), 0.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 5), 1.0f);
+}
+
+TEST(FeatureInitTest, SaturatesOutOfRangeValues) {
+  Graph g = MakeGraph({7, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}});
+  // Only 1 bit for everything: degree 3 and label 7 saturate to 1.
+  FeatureInitializer f(1, 1, 0);
+  Matrix x = f.Compute(g);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 1.0f);  // degree
+  EXPECT_FLOAT_EQ(x.at(0, 1), 1.0f);  // label
+}
+
+TEST(FeatureInitTest, OneHopMeanPooling) {
+  // Star center v0 with leaves labeled 1 and 3; degree bits 2, label bits 2.
+  Graph g = MakeGraph({0, 1, 3}, {{0, 1}, {0, 2}});
+  FeatureInitializer f(2, 2, 1);
+  Matrix x = f.Compute(g);
+  ASSERT_EQ(x.cols(), 8u);
+  // Hop-1 block of v0 = mean of leaves' (degree=1 -> 10; label bits).
+  // leaf degrees: 1 -> bits (1,0). labels: 1 -> (1,0); 3 -> (1,1).
+  EXPECT_FLOAT_EQ(x.at(0, 4), 1.0f);   // mean degree bit0 = 1
+  EXPECT_FLOAT_EQ(x.at(0, 5), 0.0f);   // mean degree bit1 = 0
+  EXPECT_FLOAT_EQ(x.at(0, 6), 1.0f);   // label bit0: both 1
+  EXPECT_FLOAT_EQ(x.at(0, 7), 0.5f);   // label bit1: one of two
+}
+
+TEST(FeatureInitTest, TwoHopRings) {
+  // Path v0-v1-v2: v0's 2-hop ring is {v2}.
+  Graph g = MakeGraph({0, 0, 3}, {{0, 1}, {1, 2}});
+  FeatureInitializer f(2, 2, 2);
+  Matrix x = f.Compute(g);
+  ASSERT_EQ(x.cols(), 12u);
+  // v0 hop2 block: v2 has degree 1 (1,0) and label 3 (1,1).
+  EXPECT_FLOAT_EQ(x.at(0, 8), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(0, 9), 0.0f);
+  EXPECT_FLOAT_EQ(x.at(0, 10), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(0, 11), 1.0f);
+}
+
+TEST(FeatureInitTest, EmptyRingStaysZero) {
+  Graph g = MakeGraph({0, 0}, {{0, 1}});
+  FeatureInitializer f(2, 2, 2);  // 2-hop ring of both vertices is empty
+  Matrix x = f.Compute(g);
+  for (size_t c = 8; c < 12; ++c) {
+    EXPECT_FLOAT_EQ(x.at(0, c), 0.0f);
+    EXPECT_FLOAT_EQ(x.at(1, c), 0.0f);
+  }
+}
+
+TEST(FeatureInitTest, FeaturesAreBinaryOrAverages) {
+  Graph g = MakeGraph({0, 1, 2, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  FeatureInitializer f(g, 1);
+  Matrix x = f.Compute(g);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_GE(x.data()[i], 0.0f);
+    EXPECT_LE(x.data()[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace neursc

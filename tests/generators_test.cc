@@ -1,0 +1,124 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+
+namespace neursc {
+namespace {
+
+TEST(GeneratorsTest, PowerLawRespectsSize) {
+  GeneratorConfig config;
+  config.num_vertices = 500;
+  config.num_edges = 1500;
+  config.num_labels = 10;
+  auto g = GeneratePowerLawGraph(config);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 500u);
+  // Edge budget is approximate (dedup + connectification), but close.
+  EXPECT_GT(g->NumEdges(), 1200u);
+  EXPECT_LT(g->NumEdges(), 1800u);
+  EXPECT_EQ(g->NumLabels(), 10u);
+  EXPECT_TRUE(g->IsConnected());
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  GeneratorConfig config;
+  config.num_vertices = 200;
+  config.num_edges = 600;
+  config.seed = 123;
+  auto a = GeneratePowerLawGraph(config);
+  auto b = GeneratePowerLawGraph(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(WriteGraphToString(*a), WriteGraphToString(*b));
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.num_vertices = 200;
+  config.num_edges = 600;
+  config.seed = 1;
+  auto a = GeneratePowerLawGraph(config);
+  config.seed = 2;
+  auto b = GeneratePowerLawGraph(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(WriteGraphToString(*a), WriteGraphToString(*b));
+}
+
+TEST(GeneratorsTest, PowerLawIsSkewed) {
+  GeneratorConfig config;
+  config.num_vertices = 1000;
+  config.num_edges = 3000;
+  config.degree_exponent = 2.2;
+  auto g = GeneratePowerLawGraph(config);
+  ASSERT_TRUE(g.ok());
+  // Max degree should far exceed the average for a heavy-tailed graph.
+  EXPECT_GT(g->MaxDegree(), 3 * static_cast<uint32_t>(g->AverageDegree()));
+}
+
+TEST(GeneratorsTest, LabelSkewProducesImbalance) {
+  GeneratorConfig config;
+  config.num_vertices = 2000;
+  config.num_edges = 4000;
+  config.num_labels = 10;
+  config.label_skew = 1.2;
+  auto g = GeneratePowerLawGraph(config);
+  ASSERT_TRUE(g.ok());
+  size_t max_freq = 0;
+  size_t min_freq = g->NumVertices();
+  for (size_t l = 0; l < g->NumLabels(); ++l) {
+    size_t f = g->LabelFrequency(static_cast<Label>(l));
+    max_freq = std::max(max_freq, f);
+    min_freq = std::min(min_freq, f);
+  }
+  EXPECT_GT(max_freq, 4 * min_freq);
+  EXPECT_GE(min_freq, 1u);  // every label used at least once
+}
+
+TEST(GeneratorsTest, RejectsDegenerateInput) {
+  GeneratorConfig config;
+  config.num_vertices = 1;
+  EXPECT_FALSE(GeneratePowerLawGraph(config).ok());
+  config.num_vertices = 10;
+  config.num_labels = 0;
+  EXPECT_FALSE(GeneratePowerLawGraph(config).ok());
+}
+
+TEST(GeneratorsTest, ErdosRenyiConnectedAndSized) {
+  auto g = GenerateErdosRenyiGraph(300, 900, 5, 9);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 300u);
+  EXPECT_TRUE(g->IsConnected());
+}
+
+TEST(DatasetProfilesTest, AllSevenPresent) {
+  const auto& profiles = AllDatasetProfiles();
+  ASSERT_EQ(profiles.size(), 7u);
+  EXPECT_EQ(profiles[0].name, "Yeast");
+  EXPECT_EQ(profiles[0].full_vertices, 3112u);
+  EXPECT_EQ(profiles[0].num_labels, 71u);
+  EXPECT_EQ(profiles[6].name, "Youtube");
+}
+
+TEST(DatasetProfilesTest, LookupByName) {
+  auto p = FindDatasetProfile("DBLP");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->full_vertices, 317080u);
+  EXPECT_FALSE(FindDatasetProfile("NoSuch").ok());
+}
+
+TEST(DatasetProfilesTest, GenerateDatasetMatchesScaledStats) {
+  auto p = FindDatasetProfile("Yeast");
+  ASSERT_TRUE(p.ok());
+  auto g = GenerateDataset(*p, 0.25, 42);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(static_cast<double>(g->NumVertices()), 3112 * 0.25, 32);
+  // Average degree approximately preserved.
+  EXPECT_NEAR(g->AverageDegree(), p->avg_degree, p->avg_degree * 0.4);
+  EXPECT_TRUE(g->IsConnected());
+}
+
+}  // namespace
+}  // namespace neursc

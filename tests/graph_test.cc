@@ -1,0 +1,143 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(GraphBuilderTest, BuildsTriangle) {
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.NumLabels(), 3u);
+  EXPECT_EQ(g.MaxDegree(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_DOUBLE_EQ(g.Density(), 1.0);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder builder;
+  builder.AddVertex(0);
+  EXPECT_FALSE(builder.AddEdge(0, 0).ok());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEdge) {
+  GraphBuilder builder;
+  builder.AddVertex(0);
+  builder.AddVertex(1);
+  EXPECT_FALSE(builder.AddEdge(0, 5).ok());
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateEdge) {
+  GraphBuilder builder;
+  builder.AddVertex(0);
+  builder.AddVertex(0);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  auto built = builder.Build();
+  EXPECT_FALSE(built.ok());
+  EXPECT_TRUE(built.status().IsInvalidArgument());
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{3, 0}, {1, 0}, {2, 0}});
+  auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(GraphTest, VerticesWithLabel) {
+  Graph g = MakeGraph({2, 0, 2, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  auto with2 = g.VerticesWithLabel(2);
+  ASSERT_EQ(with2.size(), 2u);
+  EXPECT_EQ(with2[0], 0u);
+  EXPECT_EQ(with2[1], 2u);
+  EXPECT_EQ(g.LabelFrequency(0), 1u);
+  EXPECT_EQ(g.LabelFrequency(1), 1u);
+  EXPECT_TRUE(g.VerticesWithLabel(9).empty());
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder builder;
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->NumVertices(), 0u);
+  EXPECT_EQ(built->NumEdges(), 0u);
+  EXPECT_TRUE(built->IsConnected());
+}
+
+TEST(GraphTest, DisconnectedGraphDetection) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.IsConnected());
+}
+
+
+TEST(GraphTest, SummaryMentionsCounts) {
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  std::string summary = g.Summary();
+  EXPECT_NE(summary.find("|V|=3"), std::string::npos);
+  EXPECT_NE(summary.find("|E|=3"), std::string::npos);
+  EXPECT_NE(summary.find("|L|=3"), std::string::npos);
+}
+
+TEST(GraphTest, AverageDegree) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.5);
+  GraphBuilder b;
+  Graph empty = std::move(b.Build()).value();
+  EXPECT_DOUBLE_EQ(empty.AverageDegree(), 0.0);
+}
+
+TEST(InducedSubgraphTest, KeepsEdgesAndLabels) {
+  // Path 0-1-2-3 with a chord 0-2.
+  Graph g = MakeGraph({5, 6, 7, 8}, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  auto sub = BuildInducedSubgraph(g, {0, 2, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.NumVertices(), 3u);
+  EXPECT_EQ(sub->graph.NumEdges(), 2u);  // 0-2 and 2-3
+  EXPECT_EQ(sub->graph.GetLabel(0), 5u);
+  EXPECT_EQ(sub->graph.GetLabel(1), 7u);
+  EXPECT_EQ(sub->graph.GetLabel(2), 8u);
+  EXPECT_TRUE(sub->graph.HasEdge(0, 1));
+  EXPECT_TRUE(sub->graph.HasEdge(1, 2));
+  EXPECT_FALSE(sub->graph.HasEdge(0, 2));
+  EXPECT_EQ(sub->original_id, (std::vector<VertexId>{0, 2, 3}));
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicates) {
+  Graph g = MakeGraph({0, 0}, {{0, 1}});
+  EXPECT_FALSE(BuildInducedSubgraph(g, {0, 0}).ok());
+}
+
+TEST(InducedSubgraphTest, RejectsOutOfRange) {
+  Graph g = MakeGraph({0, 0}, {{0, 1}});
+  EXPECT_FALSE(BuildInducedSubgraph(g, {0, 7}).ok());
+}
+
+TEST(ConnectedComponentsTest, SplitsComponents) {
+  Graph g = MakeGraph({0, 0, 0, 0, 0}, {{0, 1}, {1, 2}, {3, 4}});
+  auto components = ConnectedComponents(g);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(components[1], (std::vector<VertexId>{3, 4}));
+}
+
+TEST(ConnectedComponentsTest, IsolatedVertices) {
+  Graph g = MakeGraph({0, 0, 0}, {});
+  auto components = ConnectedComponents(g);
+  EXPECT_EQ(components.size(), 3u);
+}
+
+}  // namespace
+}  // namespace neursc

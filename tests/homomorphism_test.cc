@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/query_generator.h"
+#include "matching/enumeration.h"
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+using testing_util::MakeGraph;
+
+// Brute-force homomorphism counting for validation.
+uint64_t BruteForceHomomorphisms(const Graph& query, const Graph& data) {
+  const size_t nq = query.NumVertices();
+  const size_t nd = data.NumVertices();
+  std::vector<VertexId> mapping(nq, kInvalidVertex);
+  uint64_t count = 0;
+  auto recurse = [&](auto&& self, size_t u) -> void {
+    if (u == nq) {
+      ++count;
+      return;
+    }
+    for (size_t v = 0; v < nd; ++v) {
+      if (data.GetLabel(static_cast<VertexId>(v)) !=
+          query.GetLabel(static_cast<VertexId>(u))) {
+        continue;
+      }
+      bool ok = true;
+      for (VertexId w : query.Neighbors(static_cast<VertexId>(u))) {
+        if (w < u && !data.HasEdge(static_cast<VertexId>(v), mapping[w])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      mapping[u] = static_cast<VertexId>(v);
+      self(self, u + 1);
+      mapping[u] = kInvalidVertex;
+    }
+  };
+  recurse(recurse, 0);
+  return count;
+}
+
+EnumerationOptions Homo() {
+  EnumerationOptions options;
+  options.homomorphism = true;
+  return options;
+}
+
+TEST(HomomorphismTest, PathIntoEdgeFoldsBack) {
+  // Path a-b-a maps homomorphically onto a single a-b edge (fold), but has
+  // no isomorphic embedding there.
+  Graph query = MakeGraph({0, 1, 0}, {{0, 1}, {1, 2}});
+  Graph data = MakeGraph({0, 1}, {{0, 1}});
+  auto iso = CountSubgraphIsomorphisms(query, data);
+  ASSERT_TRUE(iso.ok());
+  EXPECT_EQ(iso->count, 0u);
+  auto hom = CountSubgraphIsomorphisms(query, data, Homo());
+  ASSERT_TRUE(hom.ok());
+  EXPECT_EQ(hom->count, 1u);  // both path endpoints -> the a vertex
+}
+
+TEST(HomomorphismTest, AtLeastAsManyAsIsomorphisms) {
+  auto data = GenerateErdosRenyiGraph(20, 50, 2, 3);
+  ASSERT_TRUE(data.ok());
+  QueryGeneratorConfig qc;
+  qc.query_size = 3;
+  qc.seed = 5;
+  QueryGenerator generator(*data, qc);
+  for (int i = 0; i < 5; ++i) {
+    auto query = generator.Generate();
+    if (!query.ok()) continue;
+    auto iso = CountSubgraphIsomorphisms(*query, *data);
+    auto hom = CountSubgraphIsomorphisms(*query, *data, Homo());
+    ASSERT_TRUE(iso.ok());
+    ASSERT_TRUE(hom.ok());
+    EXPECT_GE(hom->count, iso->count);
+  }
+}
+
+TEST(HomomorphismTest, TriangleCannotFold) {
+  // Odd cycles admit no homomorphism into bipartite structures, and a
+  // triangle's homomorphisms into a triangle are exactly its 6
+  // automorphism images.
+  Graph triangle = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
+  auto hom = CountSubgraphIsomorphisms(triangle, triangle, Homo());
+  ASSERT_TRUE(hom.ok());
+  EXPECT_EQ(hom->count, 6u);
+
+  Graph edge_graph = MakeGraph({0, 0}, {{0, 1}});
+  auto folded = CountSubgraphIsomorphisms(triangle, edge_graph, Homo());
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded->count, 0u);
+}
+
+class HomomorphismPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HomomorphismPropertyTest, MatchesBruteForce) {
+  auto data = GenerateErdosRenyiGraph(10, 20, 2, GetParam());
+  ASSERT_TRUE(data.ok());
+  QueryGeneratorConfig qc;
+  qc.query_size = 3;
+  qc.seed = GetParam() + 50;
+  QueryGenerator generator(*data, qc);
+  auto query = generator.Generate();
+  if (!query.ok()) GTEST_SKIP();
+  auto hom = CountSubgraphIsomorphisms(*query, *data, Homo());
+  ASSERT_TRUE(hom.ok());
+  EXPECT_EQ(hom->count, BruteForceHomomorphisms(*query, *data));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, HomomorphismPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace neursc

@@ -1,0 +1,93 @@
+#include "baselines/label_embedding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lss.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+using testing_util::MakeGraph;
+
+double Distance(const float* a, const float* b, size_t dim) {
+  double s = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+TEST(LabelEmbeddingTest, DimensionsClampToLabelCount) {
+  Graph g = MakeGraph({0, 1, 0}, {{0, 1}, {1, 2}});
+  LabelEmbedding embedding(g, 16);
+  EXPECT_EQ(embedding.num_labels(), 2u);
+  EXPECT_LE(embedding.dim(), 2u);
+}
+
+TEST(LabelEmbeddingTest, OutOfRangeLabelIsZero) {
+  Graph g = MakeGraph({0, 1}, {{0, 1}});
+  LabelEmbedding embedding(g, 2);
+  const float* v = embedding.Vector(99);
+  for (size_t i = 0; i < embedding.dim(); ++i) EXPECT_FLOAT_EQ(v[i], 0.0f);
+}
+
+TEST(LabelEmbeddingTest, SameProfileLabelsCloserThanDifferentOnes) {
+  // Labels 0 and 1 have identical co-occurrence profiles (both only touch
+  // the hub label 2); label 3 lives in a separate block (only touches 4).
+  // The spectral embedding must place 0 near 1 and far from 3.
+  GraphBuilder b;
+  for (int i = 0; i < 20; ++i) {
+    VertexId x = b.AddVertex(0);
+    VertexId hub = b.AddVertex(2);
+    VertexId y = b.AddVertex(1);
+    EXPECT_TRUE(b.AddEdge(x, hub).ok());
+    EXPECT_TRUE(b.AddEdge(y, hub).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    VertexId x = b.AddVertex(3);
+    VertexId y = b.AddVertex(4);
+    EXPECT_TRUE(b.AddEdge(x, y).ok());
+  }
+  Graph g = std::move(b.Build()).value();
+  LabelEmbedding embedding(g, 4);
+  size_t dim = embedding.dim();
+  double same_profile =
+      Distance(embedding.Vector(0), embedding.Vector(1), dim);
+  double across = Distance(embedding.Vector(0), embedding.Vector(3), dim);
+  EXPECT_LT(same_profile, across);
+}
+
+TEST(LabelEmbeddingTest, DeterministicGivenSeed) {
+  auto g = GenerateErdosRenyiGraph(100, 300, 6, 5);
+  ASSERT_TRUE(g.ok());
+  LabelEmbedding a(*g, 4, 30, 9);
+  LabelEmbedding c(*g, 4, 30, 9);
+  EXPECT_LT(Matrix::MaxAbsDiff(a.vectors(), c.vectors()), 1e-6f);
+}
+
+TEST(LssFeatureModeTest, EmbeddingModeTrainsAndEstimates) {
+  auto data = GenerateErdosRenyiGraph(80, 240, 4, 7);
+  ASSERT_TRUE(data.ok());
+  LssEstimator::Options options;
+  options.feature_mode = LssEstimator::FeatureMode::kLabelEmbedding;
+  options.label_embedding_dim = 4;
+  options.hidden_dim = 16;
+  options.attention_dim = 16;
+  options.epochs = 3;
+  LssEstimator lss(*data, options);
+  Graph query = MakeGraph({0, 1}, {{0, 1}});
+  auto est = lss.EstimateCount(query);
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(std::isfinite(*est));
+  std::vector<TrainingExample> train;
+  train.push_back(TrainingExample{query, 5.0});
+  EXPECT_TRUE(lss.Train(train).ok());
+}
+
+}  // namespace
+}  // namespace neursc

@@ -1,0 +1,117 @@
+#include "core/optimal_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace neursc {
+namespace {
+
+TEST(AssignmentTest, IdentityIsOptimal) {
+  Matrix cost = Matrix::FromRows({{0, 9, 9}, {9, 0, 9}, {9, 9, 0}});
+  auto assignment = SolveAssignment(cost);
+  EXPECT_EQ(assignment, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(AssignmentCost(cost, assignment), 0.0);
+}
+
+TEST(AssignmentTest, RequiresGlobalReasoning) {
+  // Greedy (row 0 takes col 0 at cost 1, forcing row 1 to col 1 at 10)
+  // is suboptimal: the optimum is 0->1 (2) + 1->0 (1) = 3.
+  Matrix cost = Matrix::FromRows({{1, 2}, {1, 10}});
+  auto assignment = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(AssignmentCost(cost, assignment), 3.0);
+  EXPECT_EQ(assignment[0], 1u);
+  EXPECT_EQ(assignment[1], 0u);
+}
+
+TEST(AssignmentTest, RectangularMoreColumns) {
+  Matrix cost = Matrix::FromRows({{5, 1, 7}, {2, 8, 2}});
+  auto assignment = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(AssignmentCost(cost, assignment), 3.0);
+  EXPECT_NE(assignment[0], assignment[1]);
+}
+
+// Brute-force reference over all injective assignments.
+double BruteForceAssignment(const Matrix& cost) {
+  std::vector<size_t> cols(cost.cols());
+  std::iota(cols.begin(), cols.end(), 0);
+  double best = 1e300;
+  std::sort(cols.begin(), cols.end());
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < cost.rows(); ++i) total += cost.at(i, cols[i]);
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+class AssignmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  size_t n = 2 + rng.UniformIndex(4);
+  size_t m = n + rng.UniformIndex(3);
+  Matrix cost = Matrix::Uniform(n, m, 0.0f, 10.0f, &rng);
+  auto assignment = SolveAssignment(cost);
+  EXPECT_NEAR(AssignmentCost(cost, assignment), BruteForceAssignment(cost),
+              1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCosts, AssignmentPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(ExactWassersteinTest, IdenticalCloudsHaveZeroDistance) {
+  Rng rng(5);
+  Matrix a = Matrix::Uniform(6, 3, -1, 1, &rng);
+  EXPECT_NEAR(ExactWasserstein1(a, a), 0.0, 1e-6);
+}
+
+TEST(ExactWassersteinTest, TranslationShowsUp) {
+  Matrix a = Matrix::FromRows({{0, 0}, {1, 0}});
+  Matrix b = Matrix::FromRows({{0, 3}, {1, 3}});
+  EXPECT_NEAR(ExactWasserstein1(a, b), 3.0, 1e-6);
+}
+
+TEST(ExactWassersteinTest, SubsetIntoLargerCloud) {
+  Matrix a = Matrix::FromRows({{0.0f, 0.0f}});
+  Matrix b = Matrix::FromRows({{5, 0}, {1, 0}, {9, 9}});
+  EXPECT_NEAR(ExactWasserstein1(a, b), 1.0, 1e-6);
+}
+
+TEST(ExactOtCorrespondenceTest, RespectsCandidates) {
+  Matrix query_repr = Matrix::FromRows({{0.0f, 0.0f}, {5.0f, 5.0f}});
+  Matrix sub_repr =
+      Matrix::FromRows({{0.1f, 0.0f}, {5.0f, 5.1f}, {2.0f, 2.0f}});
+  std::vector<std::vector<VertexId>> candidates = {{0, 2}, {1, 2}};
+  auto pairs =
+      SelectCorrespondenceByExactOt(query_repr, sub_repr, candidates);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs.sub_rows[0], 0u);
+  EXPECT_EQ(pairs.sub_rows[1], 1u);
+}
+
+TEST(ExactOtCorrespondenceTest, SolvesConflictOptimally) {
+  // Both query vertices prefer v0, but total cost is lower when the
+  // closer one takes it.
+  Matrix query_repr = Matrix::FromRows({{0.0f}, {0.2f}});
+  Matrix sub_repr = Matrix::FromRows({{0.0f}, {1.0f}});
+  std::vector<std::vector<VertexId>> candidates = {{0, 1}, {0, 1}};
+  auto pairs =
+      SelectCorrespondenceByExactOt(query_repr, sub_repr, candidates);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs.sub_rows[0], 0u);  // u0 (exactly at v0) keeps it
+  EXPECT_EQ(pairs.sub_rows[1], 1u);
+}
+
+TEST(ExactOtCorrespondenceTest, DropsCandidatelessVertices) {
+  Matrix query_repr = Matrix::FromRows({{0.0f}, {1.0f}});
+  Matrix sub_repr = Matrix::FromRows({{0.0f}, {1.0f}});
+  std::vector<std::vector<VertexId>> candidates = {{}, {1}};
+  auto pairs =
+      SelectCorrespondenceByExactOt(query_repr, sub_repr, candidates);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs.query_rows[0], 1u);
+}
+
+}  // namespace
+}  // namespace neursc

@@ -1,0 +1,56 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace neursc {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  ParallelFor(n, [&](size_t i) { visits[i].fetch_add(1); }, 4);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoOp) {
+  bool called = false;
+  ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<size_t> order;
+  ParallelFor(5, [&](size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ResultsDeterministicPerSlot) {
+  const size_t n = 200;
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  auto fill = [](std::vector<double>* out) {
+    ParallelFor(out->size(), [out](size_t i) {
+      (*out)[i] = static_cast<double>(i) * 1.5;
+    }, 4);
+  };
+  fill(&a);
+  fill(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(3, [&](size_t i) { visits[i].fetch_add(1); }, 16);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForTest, DefaultThreadCountPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace neursc

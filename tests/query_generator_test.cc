@@ -1,0 +1,123 @@
+#include "graph/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace neursc {
+namespace {
+
+Graph TestData(uint64_t seed = 11) {
+  auto g = GenerateErdosRenyiGraph(200, 700, 6, seed);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(QueryGeneratorTest, ProducesRequestedSize) {
+  Graph data = TestData();
+  QueryGeneratorConfig config;
+  config.query_size = 8;
+  QueryGenerator generator(data, config);
+  auto q = generator.Generate();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumVertices(), 8u);
+  EXPECT_TRUE(q->IsConnected());
+}
+
+TEST(QueryGeneratorTest, RejectsTinyQuerySize) {
+  Graph data = TestData();
+  QueryGeneratorConfig config;
+  config.query_size = 1;
+  QueryGenerator generator(data, config);
+  EXPECT_FALSE(generator.Generate().ok());
+}
+
+TEST(QueryGeneratorTest, RejectsQueryLargerThanData) {
+  Graph data = TestData();
+  QueryGeneratorConfig config;
+  config.query_size = 10000;
+  QueryGenerator generator(data, config);
+  EXPECT_FALSE(generator.Generate().ok());
+}
+
+TEST(QueryGeneratorTest, LabelsComeFromData) {
+  Graph data = TestData();
+  QueryGeneratorConfig config;
+  config.query_size = 6;
+  QueryGenerator generator(data, config);
+  auto q = generator.Generate();
+  ASSERT_TRUE(q.ok());
+  for (size_t v = 0; v < q->NumVertices(); ++v) {
+    EXPECT_LT(q->GetLabel(static_cast<VertexId>(v)), data.NumLabels());
+  }
+}
+
+TEST(QueryGeneratorTest, SparsifiedQueriesStayConnected) {
+  Graph data = TestData();
+  QueryGeneratorConfig config;
+  config.query_size = 10;
+  config.edge_keep_probability = 0.2;
+  QueryGenerator generator(data, config);
+  for (int i = 0; i < 10; ++i) {
+    auto q = generator.Generate();
+    if (!q.ok()) continue;
+    EXPECT_EQ(q->NumVertices(), 10u);
+    EXPECT_TRUE(q->IsConnected());
+    EXPECT_GE(q->NumEdges(), 9u);  // at least the spanning tree
+  }
+}
+
+TEST(QueryGeneratorTest, GenerateManyDeliversCount) {
+  Graph data = TestData();
+  QueryGeneratorConfig config;
+  config.query_size = 4;
+  QueryGenerator generator(data, config);
+  auto queries = generator.GenerateMany(20);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->size(), 20u);
+  for (const Graph& q : *queries) {
+    EXPECT_EQ(q.NumVertices(), 4u);
+    EXPECT_TRUE(q.IsConnected());
+  }
+}
+
+TEST(QueryGeneratorTest, DeterministicGivenSeed) {
+  Graph data = TestData();
+  QueryGeneratorConfig config;
+  config.query_size = 5;
+  config.seed = 77;
+  QueryGenerator a(data, config);
+  QueryGenerator b(data, config);
+  auto qa = a.Generate();
+  auto qb = b.Generate();
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(qa->NumEdges(), qb->NumEdges());
+  for (size_t v = 0; v < qa->NumVertices(); ++v) {
+    EXPECT_EQ(qa->GetLabel(static_cast<VertexId>(v)),
+              qb->GetLabel(static_cast<VertexId>(v)));
+  }
+}
+
+// Property sweep: extraction across sizes always yields connected
+// subgraphs of the right size whose (label, degree-capped) structure can
+// embed into the data graph.
+class QuerySizeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QuerySizeSweepTest, SizeAndConnectivity) {
+  Graph data = TestData(31);
+  QueryGeneratorConfig config;
+  config.query_size = GetParam();
+  config.seed = GetParam();
+  QueryGenerator generator(data, config);
+  auto q = generator.Generate();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumVertices(), GetParam());
+  EXPECT_TRUE(q->IsConnected());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, QuerySizeSweepTest,
+                         ::testing::Values(4u, 8u, 16u, 24u, 32u));
+
+}  // namespace
+}  // namespace neursc

@@ -1,0 +1,144 @@
+#include "matching/substructure.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/query_generator.h"
+#include "matching/enumeration.h"
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(SubstructureTest, EarlyTerminateOnEmptyCandidates) {
+  Graph query = MakeGraph({9, 9}, {{0, 1}});
+  Graph data = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  auto result = ExtractSubstructures(query, data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->early_terminate);
+  EXPECT_TRUE(result->substructures.empty());
+}
+
+TEST(SubstructureTest, EarlyTerminateWhenUnionTooSmall) {
+  // Query needs 3 vertices but only 2 data vertices can ever qualify.
+  Graph query = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  Graph data = MakeGraph({0, 0, 1, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  auto result = ExtractSubstructures(query, data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->early_terminate);
+}
+
+TEST(SubstructureTest, ExtractsMatchingRegion) {
+  // Data contains a labeled triangle (matching the query) plus an
+  // unrelated differently-labeled region.
+  Graph query = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph data = MakeGraph({0, 1, 2, 5, 5, 5},
+                         {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {2, 3}});
+  auto result = ExtractSubstructures(query, data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->early_terminate);
+  ASSERT_EQ(result->substructures.size(), 1u);
+  const auto& sub = result->substructures[0];
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 3u);
+  // Candidate sets localize correctly.
+  ASSERT_EQ(sub.local_candidates.size(), 3u);
+  for (size_t u = 0; u < 3; ++u) {
+    ASSERT_EQ(sub.local_candidates[u].size(), 1u);
+    EXPECT_EQ(sub.graph.GetLabel(sub.local_candidates[u][0]),
+              query.GetLabel(static_cast<VertexId>(u)));
+  }
+}
+
+TEST(SubstructureTest, SkipsComponentsSmallerThanQuery) {
+  // Two disjoint candidate regions; one is a single vertex (too small).
+  Graph query = MakeGraph({0, 0}, {{0, 1}});
+  Graph data = MakeGraph({0, 0, 0, 1, 0}, {{0, 1}, {3, 4}});
+  // v2 is isolated with label 0: local pruning for query vertices of
+  // degree 1 requires a 0-labeled neighbor, so v2 and v4 drop out anyway;
+  // the surviving component is {v0, v1}.
+  auto result = ExtractSubstructures(query, data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->substructures.size(), 1u);
+  EXPECT_EQ(result->substructures[0].graph.NumVertices(), 2u);
+}
+
+TEST(SubstructureTest, OriginalIdsMapBack) {
+  Graph query = MakeGraph({1, 1}, {{0, 1}});
+  Graph data = MakeGraph({0, 1, 1, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  auto result = ExtractSubstructures(query, data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->substructures.size(), 1u);
+  const auto& sub = result->substructures[0];
+  for (size_t i = 0; i < sub.graph.NumVertices(); ++i) {
+    EXPECT_EQ(sub.graph.GetLabel(static_cast<VertexId>(i)),
+              data.GetLabel(sub.original_id[i]));
+  }
+}
+
+TEST(SubstructureTest, BuildFromExplicitVertices) {
+  Graph query = MakeGraph({0, 0}, {{0, 1}});
+  Graph data = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  auto cs = ComputeCandidateSets(query, data);
+  ASSERT_TRUE(cs.ok());
+  auto result = BuildSubstructuresFromVertices(query, data, {0, 1}, *cs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->substructures.size(), 1u);
+  EXPECT_EQ(result->substructures[0].graph.NumVertices(), 2u);
+}
+
+
+TEST(SubstructureTest, StatsReflectExtraction) {
+  Graph query = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph data = MakeGraph({0, 1, 2, 5, 5, 5},
+                         {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {2, 3}});
+  auto result = ExtractSubstructures(query, data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.candidate_union_size, 3u);
+  EXPECT_EQ(result->stats.total_candidates, 3u);
+  EXPECT_EQ(result->stats.components_total, 1u);
+  EXPECT_EQ(result->stats.components_kept, 1u);
+  EXPECT_EQ(result->stats.largest_substructure_vertices, 3u);
+}
+
+// Property: substructures jointly contain every embedding — counting the
+// query on each substructure and summing equals the count on the full
+// graph (embeddings never span substructures because substructures are
+// connected components of the candidate-induced region).
+class SubstructureCoverageTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubstructureCoverageTest, SubstructureCountsSumToTotal) {
+  auto data = GenerateErdosRenyiGraph(30, 70, 3, GetParam());
+  ASSERT_TRUE(data.ok());
+  QueryGeneratorConfig qc;
+  qc.query_size = 4;
+  qc.seed = GetParam() + 11;
+  QueryGenerator generator(*data, qc);
+  auto query = generator.Generate();
+  if (!query.ok()) GTEST_SKIP();
+
+  auto total = CountSubgraphIsomorphisms(*query, *data);
+  ASSERT_TRUE(total.ok());
+
+  auto extraction = ExtractSubstructures(*query, *data);
+  ASSERT_TRUE(extraction.ok());
+  if (extraction->early_terminate) {
+    EXPECT_EQ(total->count, 0u);
+    return;
+  }
+  uint64_t sum = 0;
+  for (const auto& sub : extraction->substructures) {
+    auto c = CountSubgraphIsomorphisms(*query, sub.graph);
+    ASSERT_TRUE(c.ok());
+    sum += c->count;
+  }
+  EXPECT_EQ(sum, total->count);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SubstructureCoverageTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace neursc

@@ -1,0 +1,85 @@
+#include "test_util.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace neursc {
+namespace testing_util {
+
+Graph MakeGraph(const std::vector<Label>& labels,
+                const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder;
+  for (Label l : labels) builder.AddVertex(l);
+  for (const auto& [u, v] : edges) {
+    Status st = builder.AddEdge(u, v);
+    NEURSC_CHECK(st.ok()) << st.ToString();
+  }
+  auto built = builder.Build();
+  NEURSC_CHECK(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+uint64_t BruteForceCount(const Graph& query, const Graph& data) {
+  const size_t nq = query.NumVertices();
+  const size_t nd = data.NumVertices();
+  if (nq > nd) return 0;
+  std::vector<VertexId> mapping(nq, kInvalidVertex);
+  std::vector<bool> used(nd, false);
+  uint64_t count = 0;
+
+  auto recurse = [&](auto&& self, size_t u) -> void {
+    if (u == nq) {
+      ++count;
+      return;
+    }
+    for (size_t v = 0; v < nd; ++v) {
+      if (used[v]) continue;
+      if (data.GetLabel(static_cast<VertexId>(v)) !=
+          query.GetLabel(static_cast<VertexId>(u))) {
+        continue;
+      }
+      bool ok = true;
+      for (VertexId w : query.Neighbors(static_cast<VertexId>(u))) {
+        if (w < u && !data.HasEdge(static_cast<VertexId>(v), mapping[w])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      mapping[u] = static_cast<VertexId>(v);
+      used[v] = true;
+      self(self, u + 1);
+      used[v] = false;
+      mapping[u] = kInvalidVertex;
+    }
+  };
+  recurse(recurse, 0);
+  return count;
+}
+
+double MaxGradCheckError(const std::vector<Parameter*>& params,
+                         const std::function<double()>& loss,
+                         float step) {
+  double max_rel_error = 0.0;
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float original = p->value.data()[i];
+      p->value.data()[i] = original + step;
+      double plus = loss();
+      p->value.data()[i] = original - step;
+      double minus = loss();
+      p->value.data()[i] = original;
+      double numeric = (plus - minus) / (2.0 * step);
+      double analytic = p->grad.data()[i];
+      double denom = std::max({std::abs(numeric), std::abs(analytic), 1.0});
+      max_rel_error =
+          std::max(max_rel_error, std::abs(numeric - analytic) / denom);
+    }
+  }
+  return max_rel_error;
+}
+
+}  // namespace testing_util
+}  // namespace neursc

@@ -1,0 +1,32 @@
+#ifndef NEURSC_TESTS_TEST_UTIL_H_
+#define NEURSC_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/tape.h"
+
+namespace neursc {
+namespace testing_util {
+
+/// Builds a graph from labels + edge list; dies on invalid input.
+Graph MakeGraph(const std::vector<Label>& labels,
+                const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+/// Exact subgraph isomorphism count by brute force over all injective
+/// mappings (only for tiny graphs; used to validate the real enumerator).
+uint64_t BruteForceCount(const Graph& query, const Graph& data);
+
+/// Finite-difference gradient check: `loss` recomputes the scalar loss from
+/// the current parameter values. Checks every coordinate of every
+/// parameter against the analytic gradient stored in param->grad.
+/// Returns the max relative error.
+double MaxGradCheckError(const std::vector<Parameter*>& params,
+                         const std::function<double()>& loss,
+                         float step = 1e-3f);
+
+}  // namespace testing_util
+}  // namespace neursc
+
+#endif  // NEURSC_TESTS_TEST_UTIL_H_
