@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_active_learning"
+  "../bench/bench_ext_active_learning.pdb"
+  "CMakeFiles/bench_ext_active_learning.dir/bench_ext_active_learning.cc.o"
+  "CMakeFiles/bench_ext_active_learning.dir/bench_ext_active_learning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_active_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

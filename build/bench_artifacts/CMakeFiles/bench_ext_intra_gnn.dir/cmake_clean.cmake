@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_intra_gnn"
+  "../bench/bench_ext_intra_gnn.pdb"
+  "CMakeFiles/bench_ext_intra_gnn.dir/bench_ext_intra_gnn.cc.o"
+  "CMakeFiles/bench_ext_intra_gnn.dir/bench_ext_intra_gnn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_intra_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

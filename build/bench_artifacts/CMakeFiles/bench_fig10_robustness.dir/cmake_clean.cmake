@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_robustness"
+  "../bench/bench_fig10_robustness.pdb"
+  "CMakeFiles/bench_fig10_robustness.dir/bench_fig10_robustness.cc.o"
+  "CMakeFiles/bench_fig10_robustness.dir/bench_fig10_robustness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

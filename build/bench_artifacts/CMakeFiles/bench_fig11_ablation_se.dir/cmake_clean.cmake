@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_ablation_se"
+  "../bench/bench_fig11_ablation_se.pdb"
+  "CMakeFiles/bench_fig11_ablation_se.dir/bench_fig11_ablation_se.cc.o"
+  "CMakeFiles/bench_fig11_ablation_se.dir/bench_fig11_ablation_se.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ablation_se.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

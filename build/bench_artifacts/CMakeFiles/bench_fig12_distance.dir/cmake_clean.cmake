@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_distance"
+  "../bench/bench_fig12_distance.pdb"
+  "CMakeFiles/bench_fig12_distance.dir/bench_fig12_distance.cc.o"
+  "CMakeFiles/bench_fig12_distance.dir/bench_fig12_distance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

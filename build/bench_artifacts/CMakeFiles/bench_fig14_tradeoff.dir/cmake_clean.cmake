@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_tradeoff"
+  "../bench/bench_fig14_tradeoff.pdb"
+  "CMakeFiles/bench_fig14_tradeoff.dir/bench_fig14_tradeoff.cc.o"
+  "CMakeFiles/bench_fig14_tradeoff.dir/bench_fig14_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_count_ranges"
+  "../bench/bench_fig8_count_ranges.pdb"
+  "CMakeFiles/bench_fig8_count_ranges.dir/bench_fig8_count_ranges.cc.o"
+  "CMakeFiles/bench_fig8_count_ranges.dir/bench_fig8_count_ranges.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_count_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

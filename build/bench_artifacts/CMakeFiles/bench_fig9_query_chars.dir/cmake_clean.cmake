@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_query_chars"
+  "../bench/bench_fig9_query_chars.pdb"
+  "CMakeFiles/bench_fig9_query_chars.dir/bench_fig9_query_chars.cc.o"
+  "CMakeFiles/bench_fig9_query_chars.dir/bench_fig9_query_chars.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_query_chars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/neursc_bench_util.dir/bench_util.cc.o.d"
+  "libneursc_bench_util.a"
+  "libneursc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_analysis.dir/motif_analysis.cpp.o"
+  "CMakeFiles/motif_analysis.dir/motif_analysis.cpp.o.d"
+  "motif_analysis"
+  "motif_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_cli.dir/neursc_cli.cpp.o"
+  "CMakeFiles/neursc_cli.dir/neursc_cli.cpp.o.d"
+  "neursc_cli"
+  "neursc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

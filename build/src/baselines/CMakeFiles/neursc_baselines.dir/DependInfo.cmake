@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cset.cc" "src/baselines/CMakeFiles/neursc_baselines.dir/cset.cc.o" "gcc" "src/baselines/CMakeFiles/neursc_baselines.dir/cset.cc.o.d"
+  "/root/repo/src/baselines/label_embedding.cc" "src/baselines/CMakeFiles/neursc_baselines.dir/label_embedding.cc.o" "gcc" "src/baselines/CMakeFiles/neursc_baselines.dir/label_embedding.cc.o.d"
+  "/root/repo/src/baselines/lss.cc" "src/baselines/CMakeFiles/neursc_baselines.dir/lss.cc.o" "gcc" "src/baselines/CMakeFiles/neursc_baselines.dir/lss.cc.o.d"
+  "/root/repo/src/baselines/neursc_adapter.cc" "src/baselines/CMakeFiles/neursc_baselines.dir/neursc_adapter.cc.o" "gcc" "src/baselines/CMakeFiles/neursc_baselines.dir/neursc_adapter.cc.o.d"
+  "/root/repo/src/baselines/nsic.cc" "src/baselines/CMakeFiles/neursc_baselines.dir/nsic.cc.o" "gcc" "src/baselines/CMakeFiles/neursc_baselines.dir/nsic.cc.o.d"
+  "/root/repo/src/baselines/sampling.cc" "src/baselines/CMakeFiles/neursc_baselines.dir/sampling.cc.o" "gcc" "src/baselines/CMakeFiles/neursc_baselines.dir/sampling.cc.o.d"
+  "/root/repo/src/baselines/sumrdf.cc" "src/baselines/CMakeFiles/neursc_baselines.dir/sumrdf.cc.o" "gcc" "src/baselines/CMakeFiles/neursc_baselines.dir/sumrdf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neursc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/neursc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/neursc_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/neursc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neursc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_baselines.dir/cset.cc.o"
+  "CMakeFiles/neursc_baselines.dir/cset.cc.o.d"
+  "CMakeFiles/neursc_baselines.dir/label_embedding.cc.o"
+  "CMakeFiles/neursc_baselines.dir/label_embedding.cc.o.d"
+  "CMakeFiles/neursc_baselines.dir/lss.cc.o"
+  "CMakeFiles/neursc_baselines.dir/lss.cc.o.d"
+  "CMakeFiles/neursc_baselines.dir/neursc_adapter.cc.o"
+  "CMakeFiles/neursc_baselines.dir/neursc_adapter.cc.o.d"
+  "CMakeFiles/neursc_baselines.dir/nsic.cc.o"
+  "CMakeFiles/neursc_baselines.dir/nsic.cc.o.d"
+  "CMakeFiles/neursc_baselines.dir/sampling.cc.o"
+  "CMakeFiles/neursc_baselines.dir/sampling.cc.o.d"
+  "CMakeFiles/neursc_baselines.dir/sumrdf.cc.o"
+  "CMakeFiles/neursc_baselines.dir/sumrdf.cc.o.d"
+  "libneursc_baselines.a"
+  "libneursc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

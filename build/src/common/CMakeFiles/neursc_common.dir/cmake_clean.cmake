@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_common.dir/logging.cc.o"
+  "CMakeFiles/neursc_common.dir/logging.cc.o.d"
+  "CMakeFiles/neursc_common.dir/parallel.cc.o"
+  "CMakeFiles/neursc_common.dir/parallel.cc.o.d"
+  "CMakeFiles/neursc_common.dir/rng.cc.o"
+  "CMakeFiles/neursc_common.dir/rng.cc.o.d"
+  "CMakeFiles/neursc_common.dir/status.cc.o"
+  "CMakeFiles/neursc_common.dir/status.cc.o.d"
+  "libneursc_common.a"
+  "libneursc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

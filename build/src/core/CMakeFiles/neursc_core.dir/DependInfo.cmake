@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_learner.cc" "src/core/CMakeFiles/neursc_core.dir/active_learner.cc.o" "gcc" "src/core/CMakeFiles/neursc_core.dir/active_learner.cc.o.d"
+  "/root/repo/src/core/discriminator.cc" "src/core/CMakeFiles/neursc_core.dir/discriminator.cc.o" "gcc" "src/core/CMakeFiles/neursc_core.dir/discriminator.cc.o.d"
+  "/root/repo/src/core/feature_init.cc" "src/core/CMakeFiles/neursc_core.dir/feature_init.cc.o" "gcc" "src/core/CMakeFiles/neursc_core.dir/feature_init.cc.o.d"
+  "/root/repo/src/core/neursc.cc" "src/core/CMakeFiles/neursc_core.dir/neursc.cc.o" "gcc" "src/core/CMakeFiles/neursc_core.dir/neursc.cc.o.d"
+  "/root/repo/src/core/optimal_transport.cc" "src/core/CMakeFiles/neursc_core.dir/optimal_transport.cc.o" "gcc" "src/core/CMakeFiles/neursc_core.dir/optimal_transport.cc.o.d"
+  "/root/repo/src/core/west.cc" "src/core/CMakeFiles/neursc_core.dir/west.cc.o" "gcc" "src/core/CMakeFiles/neursc_core.dir/west.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/neursc_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/neursc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/neursc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neursc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_core.dir/active_learner.cc.o"
+  "CMakeFiles/neursc_core.dir/active_learner.cc.o.d"
+  "CMakeFiles/neursc_core.dir/discriminator.cc.o"
+  "CMakeFiles/neursc_core.dir/discriminator.cc.o.d"
+  "CMakeFiles/neursc_core.dir/feature_init.cc.o"
+  "CMakeFiles/neursc_core.dir/feature_init.cc.o.d"
+  "CMakeFiles/neursc_core.dir/neursc.cc.o"
+  "CMakeFiles/neursc_core.dir/neursc.cc.o.d"
+  "CMakeFiles/neursc_core.dir/optimal_transport.cc.o"
+  "CMakeFiles/neursc_core.dir/optimal_transport.cc.o.d"
+  "CMakeFiles/neursc_core.dir/west.cc.o"
+  "CMakeFiles/neursc_core.dir/west.cc.o.d"
+  "libneursc_core.a"
+  "libneursc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/neursc_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/neursc_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/reporting.cc" "src/eval/CMakeFiles/neursc_eval.dir/reporting.cc.o" "gcc" "src/eval/CMakeFiles/neursc_eval.dir/reporting.cc.o.d"
+  "/root/repo/src/eval/workload.cc" "src/eval/CMakeFiles/neursc_eval.dir/workload.cc.o" "gcc" "src/eval/CMakeFiles/neursc_eval.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neursc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/neursc_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/neursc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neursc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/neursc_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_eval.dir/metrics.cc.o"
+  "CMakeFiles/neursc_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/neursc_eval.dir/reporting.cc.o"
+  "CMakeFiles/neursc_eval.dir/reporting.cc.o.d"
+  "CMakeFiles/neursc_eval.dir/workload.cc.o"
+  "CMakeFiles/neursc_eval.dir/workload.cc.o.d"
+  "libneursc_eval.a"
+  "libneursc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

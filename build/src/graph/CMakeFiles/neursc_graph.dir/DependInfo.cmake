@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/neursc_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/neursc_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/neursc_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/neursc_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/neursc_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/neursc_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/query_generator.cc" "src/graph/CMakeFiles/neursc_graph.dir/query_generator.cc.o" "gcc" "src/graph/CMakeFiles/neursc_graph.dir/query_generator.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/neursc_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/neursc_graph.dir/stats.cc.o.d"
+  "/root/repo/src/graph/wl_refinement.cc" "src/graph/CMakeFiles/neursc_graph.dir/wl_refinement.cc.o" "gcc" "src/graph/CMakeFiles/neursc_graph.dir/wl_refinement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neursc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_graph.dir/generators.cc.o"
+  "CMakeFiles/neursc_graph.dir/generators.cc.o.d"
+  "CMakeFiles/neursc_graph.dir/graph.cc.o"
+  "CMakeFiles/neursc_graph.dir/graph.cc.o.d"
+  "CMakeFiles/neursc_graph.dir/graph_io.cc.o"
+  "CMakeFiles/neursc_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/neursc_graph.dir/query_generator.cc.o"
+  "CMakeFiles/neursc_graph.dir/query_generator.cc.o.d"
+  "CMakeFiles/neursc_graph.dir/stats.cc.o"
+  "CMakeFiles/neursc_graph.dir/stats.cc.o.d"
+  "CMakeFiles/neursc_graph.dir/wl_refinement.cc.o"
+  "CMakeFiles/neursc_graph.dir/wl_refinement.cc.o.d"
+  "libneursc_graph.a"
+  "libneursc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

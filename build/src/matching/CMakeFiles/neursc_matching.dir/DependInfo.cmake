@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/bipartite_matching.cc" "src/matching/CMakeFiles/neursc_matching.dir/bipartite_matching.cc.o" "gcc" "src/matching/CMakeFiles/neursc_matching.dir/bipartite_matching.cc.o.d"
+  "/root/repo/src/matching/candidate_filter.cc" "src/matching/CMakeFiles/neursc_matching.dir/candidate_filter.cc.o" "gcc" "src/matching/CMakeFiles/neursc_matching.dir/candidate_filter.cc.o.d"
+  "/root/repo/src/matching/enumeration.cc" "src/matching/CMakeFiles/neursc_matching.dir/enumeration.cc.o" "gcc" "src/matching/CMakeFiles/neursc_matching.dir/enumeration.cc.o.d"
+  "/root/repo/src/matching/substructure.cc" "src/matching/CMakeFiles/neursc_matching.dir/substructure.cc.o" "gcc" "src/matching/CMakeFiles/neursc_matching.dir/substructure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/neursc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neursc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_matching.dir/bipartite_matching.cc.o"
+  "CMakeFiles/neursc_matching.dir/bipartite_matching.cc.o.d"
+  "CMakeFiles/neursc_matching.dir/candidate_filter.cc.o"
+  "CMakeFiles/neursc_matching.dir/candidate_filter.cc.o.d"
+  "CMakeFiles/neursc_matching.dir/enumeration.cc.o"
+  "CMakeFiles/neursc_matching.dir/enumeration.cc.o.d"
+  "CMakeFiles/neursc_matching.dir/substructure.cc.o"
+  "CMakeFiles/neursc_matching.dir/substructure.cc.o.d"
+  "libneursc_matching.a"
+  "libneursc_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

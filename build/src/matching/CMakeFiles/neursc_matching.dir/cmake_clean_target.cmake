@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneursc_matching.a"
+)

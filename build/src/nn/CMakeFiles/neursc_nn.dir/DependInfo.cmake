@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/neursc_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/neursc_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/modules.cc" "src/nn/CMakeFiles/neursc_nn.dir/modules.cc.o" "gcc" "src/nn/CMakeFiles/neursc_nn.dir/modules.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/neursc_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/neursc_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/neursc_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/neursc_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tape.cc" "src/nn/CMakeFiles/neursc_nn.dir/tape.cc.o" "gcc" "src/nn/CMakeFiles/neursc_nn.dir/tape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neursc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_nn.dir/matrix.cc.o"
+  "CMakeFiles/neursc_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/neursc_nn.dir/modules.cc.o"
+  "CMakeFiles/neursc_nn.dir/modules.cc.o.d"
+  "CMakeFiles/neursc_nn.dir/optimizer.cc.o"
+  "CMakeFiles/neursc_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/neursc_nn.dir/serialize.cc.o"
+  "CMakeFiles/neursc_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/neursc_nn.dir/tape.cc.o"
+  "CMakeFiles/neursc_nn.dir/tape.cc.o.d"
+  "libneursc_nn.a"
+  "libneursc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

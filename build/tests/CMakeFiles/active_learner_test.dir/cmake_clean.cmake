@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_learner_test.dir/active_learner_test.cc.o"
+  "CMakeFiles/active_learner_test.dir/active_learner_test.cc.o.d"
+  "active_learner_test"
+  "active_learner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_nsic_test.dir/baselines_nsic_test.cc.o"
+  "CMakeFiles/baselines_nsic_test.dir/baselines_nsic_test.cc.o.d"
+  "baselines_nsic_test"
+  "baselines_nsic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_nsic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_sampling_test.dir/baselines_sampling_test.cc.o"
+  "CMakeFiles/baselines_sampling_test.dir/baselines_sampling_test.cc.o.d"
+  "baselines_sampling_test"
+  "baselines_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

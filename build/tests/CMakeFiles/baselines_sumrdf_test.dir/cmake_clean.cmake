@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_sumrdf_test.dir/baselines_sumrdf_test.cc.o"
+  "CMakeFiles/baselines_sumrdf_test.dir/baselines_sumrdf_test.cc.o.d"
+  "baselines_sumrdf_test"
+  "baselines_sumrdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_sumrdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

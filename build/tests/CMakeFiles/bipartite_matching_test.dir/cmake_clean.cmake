@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bipartite_matching_test.dir/bipartite_matching_test.cc.o"
+  "CMakeFiles/bipartite_matching_test.dir/bipartite_matching_test.cc.o.d"
+  "bipartite_matching_test"
+  "bipartite_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bipartite_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

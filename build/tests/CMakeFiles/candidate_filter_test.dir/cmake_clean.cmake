@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_filter_test.dir/candidate_filter_test.cc.o"
+  "CMakeFiles/candidate_filter_test.dir/candidate_filter_test.cc.o.d"
+  "candidate_filter_test"
+  "candidate_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

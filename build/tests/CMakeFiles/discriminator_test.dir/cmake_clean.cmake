@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discriminator_test.dir/discriminator_test.cc.o"
+  "CMakeFiles/discriminator_test.dir/discriminator_test.cc.o.d"
+  "discriminator_test"
+  "discriminator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discriminator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/feature_init_test.cc" "tests/CMakeFiles/feature_init_test.dir/feature_init_test.cc.o" "gcc" "tests/CMakeFiles/feature_init_test.dir/feature_init_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/neursc_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/neursc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/neursc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/neursc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/neursc_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/neursc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/neursc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neursc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_property_test.dir/filter_property_test.cc.o"
+  "CMakeFiles/filter_property_test.dir/filter_property_test.cc.o.d"
+  "filter_property_test"
+  "filter_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

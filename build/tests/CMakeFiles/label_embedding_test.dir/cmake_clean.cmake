@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_embedding_test.dir/label_embedding_test.cc.o"
+  "CMakeFiles/label_embedding_test.dir/label_embedding_test.cc.o.d"
+  "label_embedding_test"
+  "label_embedding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

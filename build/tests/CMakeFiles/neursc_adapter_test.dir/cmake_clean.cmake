@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_adapter_test.dir/neursc_adapter_test.cc.o"
+  "CMakeFiles/neursc_adapter_test.dir/neursc_adapter_test.cc.o.d"
+  "neursc_adapter_test"
+  "neursc_adapter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_test.dir/neursc_test.cc.o"
+  "CMakeFiles/neursc_test.dir/neursc_test.cc.o.d"
+  "neursc_test"
+  "neursc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

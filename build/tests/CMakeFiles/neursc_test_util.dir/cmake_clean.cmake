@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neursc_test_util.dir/test_util.cc.o"
+  "CMakeFiles/neursc_test_util.dir/test_util.cc.o.d"
+  "libneursc_test_util.a"
+  "libneursc_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neursc_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_transport_test.dir/optimal_transport_test.cc.o"
+  "CMakeFiles/optimal_transport_test.dir/optimal_transport_test.cc.o.d"
+  "optimal_transport_test"
+  "optimal_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

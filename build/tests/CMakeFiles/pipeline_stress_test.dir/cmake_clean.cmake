@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_stress_test.dir/pipeline_stress_test.cc.o"
+  "CMakeFiles/pipeline_stress_test.dir/pipeline_stress_test.cc.o.d"
+  "pipeline_stress_test"
+  "pipeline_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

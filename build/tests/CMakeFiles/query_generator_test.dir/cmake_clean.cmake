@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_generator_test.dir/query_generator_test.cc.o"
+  "CMakeFiles/query_generator_test.dir/query_generator_test.cc.o.d"
+  "query_generator_test"
+  "query_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

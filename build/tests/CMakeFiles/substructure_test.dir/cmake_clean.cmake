@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substructure_test.dir/substructure_test.cc.o"
+  "CMakeFiles/substructure_test.dir/substructure_test.cc.o.d"
+  "substructure_test"
+  "substructure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substructure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

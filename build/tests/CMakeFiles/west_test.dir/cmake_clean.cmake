@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/west_test.dir/west_test.cc.o"
+  "CMakeFiles/west_test.dir/west_test.cc.o.d"
+  "west_test"
+  "west_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/west_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_refinement_test.dir/wl_refinement_test.cc.o"
+  "CMakeFiles/wl_refinement_test.dir/wl_refinement_test.cc.o.d"
+  "wl_refinement_test"
+  "wl_refinement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
