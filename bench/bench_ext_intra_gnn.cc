@@ -54,7 +54,8 @@ void Run() {
 }  // namespace bench
 }  // namespace neursc
 
-int main() {
+int main(int argc, char** argv) {
+  neursc::ObservabilitySession observability(&argc, argv);
   neursc::bench::Run();
   return 0;
 }

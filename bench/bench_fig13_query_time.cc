@@ -64,6 +64,7 @@ void RunDataset(const std::string& name, const BenchEnv& env) {
 }  // namespace neursc
 
 int main(int argc, char** argv) {
+  neursc::ObservabilitySession observability(&argc, argv);
   neursc::bench::BenchEnv env =
       neursc::bench::BenchEnv::FromEnvironment();
   if (argc > 1) {

@@ -74,7 +74,8 @@ void RunDataset(const std::string& name, size_t query_size,
 }  // namespace bench
 }  // namespace neursc
 
-int main() {
+int main(int argc, char** argv) {
+  neursc::ObservabilitySession observability(&argc, argv);
   neursc::bench::BenchEnv env =
       neursc::bench::BenchEnv::FromEnvironment();
   // The paper sweeps Youtube Q16 and EU2005 Q8 at full scale; at the

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace neursc {
 namespace bench {
@@ -90,6 +91,7 @@ MethodResult EvaluateMethod(CardinalityEstimator* method,
                             const std::vector<size_t>& indices) {
   MethodResult result;
   result.name = method->Name();
+  NEURSC_SPAN(method_span, "bench/evaluate_method");
   for (size_t i : indices) {
     const auto& example = workload.examples[i];
     Timer timer;

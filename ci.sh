@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI: the gate every change must pass.
+#
+#   1. Release-ish build (RelWithDebInfo) + full ctest suite.
+#   2. ThreadSanitizer build of the concurrency-sensitive pieces, running
+#      parallel_test plus the observability stress tests.
+#
+# Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== [1/2] Release build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+echo
+echo "=== [2/2] TSan build + concurrency tests ==="
+cmake -B build-tsan -S . -DNEURSC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  parallel_test metrics_stress_test metrics_registry_test trace_test
+for t in parallel_test metrics_stress_test metrics_registry_test trace_test; do
+  echo "--- $t (TSan) ---"
+  ./build-tsan/tests/"$t"
+done
+
+echo
+echo "ci.sh: all green"

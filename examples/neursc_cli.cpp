@@ -10,6 +10,10 @@
 //   neursc_cli evaluate <graph-path> <model-path>
 //       Load model, rebuild the held-out workload, report q-error stats.
 //
+// Every subcommand also accepts --trace-out=<file> (Chrome trace_event
+// JSON, see docs/observability.md) and --metrics-out=<file> (metrics
+// snapshot JSON); estimate/evaluate print a per-stage cost table.
+//
 // Exit code 0 on success; errors go to stderr.
 
 #include <cstdio>
@@ -43,6 +47,15 @@ NeurSCConfig CliConfig(size_t epochs) {
 /// Shared workload recipe so train/evaluate see the same split.
 Result<Workload> CliWorkload(const Graph& data) {
   return BuildWorkload(data, {4, 8}, 20);
+}
+
+/// Stage table scoped to estimation. Callers Reset() the registry right
+/// before estimating so the table reflects only Estimate work; the two
+/// tiles are the direct children of "estimate/total" and should account
+/// for >=95% of its wall time.
+void PrintEstimateBreakdown() {
+  PrintStageBreakdown(MetricsRegistry::Global().Snapshot(), "estimate/total",
+                      {"estimate/prepare", "estimate/infer"});
 }
 
 int CmdGenerate(const std::string& profile_name, const std::string& path) {
@@ -86,14 +99,16 @@ int CmdEstimate(const std::string& graph_path,
   NeurSCEstimator estimator(*graph, CliConfig(epochs));
   Status st = estimator.LoadModel(model_path);
   if (!st.ok()) return Fail(st);
+  MetricsRegistry::Global().Reset();
   auto info = estimator.Estimate(*query);
   if (!info.ok()) return Fail(info.status());
   std::printf("estimated count: %.1f\n", info->count);
   std::printf("substructures: %zu (used %zu), extraction %.1fms, "
-              "inference %.1fms\n",
+              "inference %.1fms, total %.1fms\n",
               info->num_substructures, info->num_used,
               1e3 * info->extraction_seconds,
-              1e3 * info->inference_seconds);
+              1e3 * info->inference_seconds, 1e3 * info->total_seconds);
+  PrintEstimateBreakdown();
   return 0;
 }
 
@@ -109,6 +124,7 @@ int CmdEvaluate(const std::string& graph_path,
   Status st = estimator.LoadModel(model_path);
   if (!st.ok()) return Fail(st);
 
+  MetricsRegistry::Global().Reset();
   std::vector<double> signed_qerrors;
   for (size_t i : split.test) {
     const auto& example = workload->examples[i];
@@ -117,6 +133,7 @@ int CmdEvaluate(const std::string& graph_path,
     signed_qerrors.push_back(SignedQError(info->count, example.count));
   }
   PrintQErrorBox("NeurSC", signed_qerrors);
+  PrintEstimateBreakdown();
   return 0;
 }
 
@@ -128,6 +145,7 @@ int Usage() {
       "  neursc_cli train <graph-path> <model-path> [epochs]\n"
       "  neursc_cli estimate <graph-path> <model-path> <query-path>\n"
       "  neursc_cli evaluate <graph-path> <model-path> [epochs]\n"
+      "common flags: --trace-out=<file> --metrics-out=<file>\n"
       "profiles: Yeast Human HPRD Wordnet DBLP EU2005 Youtube\n");
   return 2;
 }
@@ -135,6 +153,7 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ObservabilitySession observability(&argc, argv);
   if (argc < 2) {
     // With no arguments, run a self-contained demo so the binary is
     // usable in the bench/example sweeps.

@@ -1,6 +1,8 @@
 #ifndef NEURSC_COMMON_LOGGING_H_
 #define NEURSC_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -17,7 +19,17 @@ namespace internal_logging {
 /// (values: debug, info, warning, error).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+/// Formats and writes one complete log line ("[I 12:34:56.789 t3
+/// file.cc:42] msg") in a single fwrite, so concurrent threads never
+/// interleave within a line.
 void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// True on the first call and then every `n`-th call per `counter` (one
+/// static counter per NEURSC_LOG_EVERY_N site). Thread-safe.
+inline bool EveryN(std::atomic<uint64_t>* counter, uint64_t n) {
+  if (n <= 1) return true;
+  return counter->fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
 
 /// Stream collector used by the NEURSC_LOG macro.
 class LogMessage {
@@ -43,6 +55,20 @@ class LogMessage {
   ::neursc::internal_logging::LogMessage(::neursc::LogLevel::k##level,     \
                                          __FILE__, __LINE__)               \
       .stream()
+
+/// Rate-limited logging for hot loops: emits the 1st, (n+1)-th, (2n+1)-th...
+/// execution of this statement. Usage mirrors NEURSC_LOG:
+///   NEURSC_LOG_EVERY_N(Info, 1000) << "processed " << i;
+#define NEURSC_LOG_EVERY_N(level, n)                                       \
+  if (!::neursc::internal_logging::EveryN(                                 \
+          []() -> ::std::atomic<uint64_t>* {                               \
+            static ::std::atomic<uint64_t> counter{0};                     \
+            return &counter;                                               \
+          }(),                                                             \
+          static_cast<uint64_t>(n)))                                       \
+    ;                                                                      \
+  else                                                                     \
+    NEURSC_LOG(level)
 
 /// Invariant check that stays on in release builds; logs and aborts on
 /// failure. Use for programmer errors, not data errors (those get Status).

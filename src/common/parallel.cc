@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics_registry.h"
+
 namespace neursc {
 
 size_t DefaultThreadCount() {
@@ -22,6 +24,9 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   if (n == 0) return;
   if (num_threads == 0) num_threads = DefaultThreadCount();
   num_threads = std::min(num_threads, n);
+  NEURSC_COUNTER_INC("parallel.invocations");
+  NEURSC_COUNTER_ADD("parallel.tasks", static_cast<int64_t>(n));
+  NEURSC_GAUGE_SET("parallel.threads", static_cast<double>(num_threads));
   if (num_threads <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;

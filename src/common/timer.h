@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace neursc {
 
@@ -44,12 +45,17 @@ class Deadline {
   /// Unlimited deadline.
   static Deadline None() { return Deadline(0.0); }
 
+  /// RemainingSeconds() result when no deadline is set: positive infinity,
+  /// so "remaining > budget" style comparisons behave naturally.
+  static constexpr double kNoDeadline =
+      std::numeric_limits<double>::infinity();
+
   bool Expired() const {
     return limit_seconds_ > 0.0 && timer_.ElapsedSeconds() >= limit_seconds_;
   }
 
   double RemainingSeconds() const {
-    if (limit_seconds_ <= 0.0) return 1e18;
+    if (limit_seconds_ <= 0.0) return kNoDeadline;
     return limit_seconds_ - timer_.ElapsedSeconds();
   }
 

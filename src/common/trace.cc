@@ -1,0 +1,154 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace neursc {
+
+namespace {
+
+/// NEURSC_TRACE environment states: unset (start off, Start() allowed),
+/// on/1 (recording from process start), off/0 (Start() is a no-op).
+enum class TraceEnv { kUnset, kOn, kOff };
+
+TraceEnv GetTraceEnv() {
+  static const TraceEnv env = [] {
+    const char* v = std::getenv("NEURSC_TRACE");
+    if (v == nullptr) return TraceEnv::kUnset;
+    if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) {
+      return TraceEnv::kOn;
+    }
+    if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) {
+      return TraceEnv::kOff;
+    }
+    return TraceEnv::kUnset;
+  }();
+  return env;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {
+  if (GetTraceEnv() == TraceEnv::kOn) Start();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Start() {
+  if (GetTraceEnv() == TraceEnv::kOff) return;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+/// Thread-lifetime lease of a recorder buffer; returns it for reuse so
+/// ParallelFor's short-lived workers do not grow the buffer list without
+/// bound.
+struct TraceBufferLease {
+  TraceRecorder::Buffer* buffer = nullptr;
+  void (*release)(TraceRecorder::Buffer*) = nullptr;
+  ~TraceBufferLease() {
+    if (buffer != nullptr && release != nullptr) release(buffer);
+  }
+};
+
+TraceRecorder::Buffer* TraceRecorder::ThreadBuffer() {
+  thread_local TraceBufferLease lease;
+  if (lease.buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_buffers_.empty()) {
+      lease.buffer = free_buffers_.back();
+      free_buffers_.pop_back();
+    } else {
+      buffers_.push_back(std::make_unique<Buffer>());
+      lease.buffer = buffers_.back().get();
+      lease.buffer->tid = next_tid_++;
+    }
+    lease.release = [](Buffer* buffer) {
+      TraceRecorder& recorder = TraceRecorder::Global();
+      std::lock_guard<std::mutex> lock(recorder.mu_);
+      recorder.free_buffers_.push_back(buffer);
+    };
+  }
+  return lease.buffer;
+}
+
+void TraceRecorder::Record(const char* name, int64_t start_us,
+                           int64_t dur_us) {
+  Buffer* buffer = ThreadBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(Event{name, start_us, dur_us});
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+}
+
+}  // namespace
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) {
+  Stop();
+  std::string json =
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool first = true;
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      for (const Event& event : buffer->events) {
+        if (!first) json.append(",\n");
+        first = false;
+        json.append("{\"name\": \"");
+        AppendEscaped(&json, event.name);
+        json.append("\", \"cat\": \"neursc\", \"ph\": \"X\", \"ts\": ");
+        json.append(std::to_string(event.start_us));
+        json.append(", \"dur\": ");
+        json.append(std::to_string(event.dur_us));
+        json.append(", \"pid\": 1, \"tid\": ");
+        json.append(std::to_string(buffer->tid));
+        json.append("}");
+      }
+    }
+  }
+  json.append("\n]}\n");
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace neursc

@@ -4,6 +4,9 @@
 #include <queue>
 #include <vector>
 
+#include "common/metrics_registry.h"
+#include "common/trace.h"
+
 namespace neursc {
 
 size_t BitsFor(size_t max_value) {
@@ -36,6 +39,9 @@ void EncodeBinary(size_t value, size_t bits, float* out) {
 }  // namespace
 
 Matrix FeatureInitializer::Compute(const Graph& g) const {
+  NEURSC_SPAN(features_span, "features/compute");
+  NEURSC_COUNTER_ADD("features.vertices",
+                     static_cast<int64_t>(g.NumVertices()));
   const size_t n = g.NumVertices();
   const size_t base = degree_bits_ + label_bits_;
   Matrix features(n, FeatureDim());

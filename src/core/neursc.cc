@@ -4,7 +4,8 @@
 #include <numeric>
 
 #include "common/logging.h"
-#include "common/timer.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "nn/serialize.h"
 
 namespace neursc {
@@ -75,6 +76,8 @@ Result<NeurSCEstimator::Prepared> NeurSCEstimator::Prepare(
 void NeurSCEstimator::UpdateCritic(
     const Matrix& query_repr, const Matrix& sub_repr,
     const std::vector<std::vector<VertexId>>& candidates) {
+  NEURSC_SPAN(critic_span, "train/critic");
+  NEURSC_COUNTER_ADD("train.critic_updates", config_.disc_iters);
   for (int it = 0; it < config_.disc_iters; ++it) {
     Tape tape;
     Var hq = tape.Constant(query_repr);
@@ -158,11 +161,12 @@ Result<TrainStats> NeurSCEstimator::Train(
   if (examples.empty()) {
     return Status::InvalidArgument("no training examples");
   }
-  Timer total_timer;
+  NEURSC_SPAN(train_span, "train/total");
   TrainStats stats;
 
   // Extraction and feature initialization are query-deterministic: do them
   // once (Alg. 3 recomputes per epoch; hoisting is purely an optimization).
+  NEURSC_SPAN(prepare_span, "train/prepare");
   std::vector<Prepared> prepared;
   std::vector<const TrainingExample*> usable;
   prepared.reserve(examples.size());
@@ -177,6 +181,7 @@ Result<TrainStats> NeurSCEstimator::Train(
     prepared.push_back(std::move(prep).value());
     usable.push_back(&example);
   }
+  prepare_span.End();
   if (usable.empty()) {
     return Status::InvalidArgument(
         "all training examples early-terminated during extraction");
@@ -216,13 +221,15 @@ Result<TrainStats> NeurSCEstimator::Train(
   std::vector<Matrix> best_weights;
 
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    Timer epoch_timer;
+    NEURSC_SPAN(epoch_span, "train/epoch");
     bool adversarial = epoch >= config_.pretrain_epochs;
     rng_.Shuffle(&indices);
     double loss_sum = 0.0;
     size_t loss_count = 0;
     for (size_t start = 0; start < indices.size();
          start += config_.batch_size) {
+      NEURSC_SPAN(batch_span, "train/batch");
+      NEURSC_COUNTER_INC("train.batches");
       size_t end = std::min(start + config_.batch_size, indices.size());
       opt_theta_->ZeroGrad();
       if (opt_omega_ != nullptr) opt_omega_->ZeroGrad();
@@ -243,13 +250,15 @@ Result<TrainStats> NeurSCEstimator::Train(
       opt_theta_->Step();
       opt_theta_->ZeroGrad();
     }
+    epoch_span.End();
     stats.epoch_mean_loss.push_back(loss_count > 0 ? loss_sum / loss_count
                                                    : 0.0);
-    stats.epoch_seconds.push_back(epoch_timer.ElapsedSeconds());
+    stats.epoch_seconds.push_back(epoch_span.ElapsedSeconds());
     NEURSC_LOG(Debug) << "epoch " << epoch << (adversarial ? " [adv]" : "")
                       << " mean loss " << stats.epoch_mean_loss.back();
 
     if (!validation.empty()) {
+      NEURSC_SPAN(validation_span, "train/validation");
       double v = validation_qerror();
       stats.epoch_validation_qerror.push_back(v);
       if (v < best_validation - 1e-9) {
@@ -272,7 +281,12 @@ Result<TrainStats> NeurSCEstimator::Train(
       params[i]->value = best_weights[i];
     }
   }
-  stats.total_seconds = total_timer.ElapsedSeconds();
+  train_span.End();
+  stats.total_seconds = train_span.ElapsedSeconds();
+  NEURSC_COUNTER_ADD("train.examples_used",
+                     static_cast<int64_t>(stats.examples_used));
+  NEURSC_COUNTER_ADD("train.examples_skipped",
+                     static_cast<int64_t>(stats.examples_skipped));
   return stats;
 }
 
@@ -300,16 +314,23 @@ Status NeurSCEstimator::LoadModel(const std::string& path) {
 }
 
 Result<EstimateInfo> NeurSCEstimator::Estimate(const Graph& query) {
-  Timer timer;
+  NEURSC_SPAN(estimate_span, "estimate/total");
+  NEURSC_COUNTER_INC("estimate.queries");
+
+  NEURSC_SPAN(prepare_span, "estimate/prepare");
   auto prep = Prepare(query);
+  prepare_span.End();
   if (!prep.ok()) return prep.status();
   EstimateInfo info;
-  info.extraction_seconds = timer.ElapsedSeconds();
+  info.extraction_seconds = prepare_span.ElapsedSeconds();
   info.num_substructures = prep->extraction.substructures.size();
   if (prep->extraction.early_terminate ||
       prep->extraction.substructures.empty()) {
+    NEURSC_COUNTER_INC("estimate.early_terminated");
     info.early_terminated = true;
     info.count = 0.0;
+    estimate_span.End();
+    info.total_seconds = estimate_span.ElapsedSeconds();
     return info;
   }
 
@@ -327,10 +348,13 @@ Result<EstimateInfo> NeurSCEstimator::Estimate(const Graph& query) {
     selected.resize(used);
   }
   info.num_used = used;
+  NEURSC_COUNTER_ADD("estimate.substructures_evaluated",
+                     static_cast<int64_t>(used));
 
-  Timer inference_timer;
+  NEURSC_SPAN(infer_span, "estimate/infer");
   double sum = 0.0;
   for (size_t idx : selected) {
+    NEURSC_SPAN(substructure_span, "estimate/substructure");
     Tape tape;
     auto fw = model_->Forward(&tape, query,
                               prep->extraction.substructures[idx],
@@ -338,32 +362,42 @@ Result<EstimateInfo> NeurSCEstimator::Estimate(const Graph& query) {
                               &rng_);
     sum += tape.Value(fw.prediction).scalar();
   }
+  infer_span.End();
   info.count = sum * static_cast<double>(total) / static_cast<double>(used);
-  info.inference_seconds = inference_timer.ElapsedSeconds();
+  info.inference_seconds = infer_span.ElapsedSeconds();
+  estimate_span.End();
+  info.total_seconds = estimate_span.ElapsedSeconds();
   return info;
 }
 
 Result<EstimateInfo> NeurSCEstimator::EstimateOnSubstructures(
     const Graph& query, const ExtractionResult& ext) {
+  NEURSC_SPAN(estimate_span, "estimate/total");
   EstimateInfo info;
   info.num_substructures = ext.substructures.size();
   if (ext.early_terminate || ext.substructures.empty()) {
     info.early_terminated = true;
+    estimate_span.End();
+    info.total_seconds = estimate_span.ElapsedSeconds();
     return info;
   }
-  Timer timer;
+  NEURSC_SPAN(infer_span, "estimate/infer");
   Matrix query_features = features_.Compute(query);
   double sum = 0.0;
   for (const auto& sub : ext.substructures) {
+    NEURSC_SPAN(substructure_span, "estimate/substructure");
     Tape tape;
     Matrix sub_features = features_.Compute(sub.graph);
     auto fw = model_->Forward(&tape, query, sub, query_features,
                               sub_features, &rng_);
     sum += tape.Value(fw.prediction).scalar();
   }
+  infer_span.End();
   info.num_used = ext.substructures.size();
   info.count = sum;
-  info.inference_seconds = timer.ElapsedSeconds();
+  info.inference_seconds = infer_span.ElapsedSeconds();
+  estimate_span.End();
+  info.total_seconds = estimate_span.ElapsedSeconds();
   return info;
 }
 

@@ -69,7 +69,10 @@ struct TrainingExample {
   double count = 0.0;
 };
 
-/// Per-query estimation output with a timing breakdown.
+/// Per-query estimation output with a timing breakdown. The timing fields
+/// are derived from the observability spans ("estimate/prepare",
+/// "estimate/infer", "estimate/total"; see docs/observability.md), so they
+/// stay consistent with the trace/metrics output as stages are added.
 struct EstimateInfo {
   double count = 0.0;
   /// True iff estimation short-circuited to 0 (empty candidate set or
@@ -78,8 +81,12 @@ struct EstimateInfo {
   size_t num_substructures = 0;
   /// Substructures actually evaluated (< num_substructures when r_s < 1).
   size_t num_used = 0;
+  /// Candidate filtering + substructure split + feature initialization.
   double extraction_seconds = 0.0;
+  /// GNN forward passes over the evaluated substructures.
   double inference_seconds = 0.0;
+  /// Whole Estimate call (>= extraction + inference).
+  double total_seconds = 0.0;
 };
 
 /// Training progress summary.

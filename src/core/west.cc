@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 
 namespace neursc {
 
@@ -132,10 +134,13 @@ WEstModel::Forwarded WEstModel::Forward(Tape* tape, const Graph& query,
                                         const Matrix& query_features,
                                         const Matrix& sub_features,
                                         Rng* rng) {
+  NEURSC_SPAN(forward_span, "west/forward");
+  NEURSC_COUNTER_INC("west.forward_calls");
   const size_t nq = query.NumVertices();
   const size_t ns = sub.graph.NumVertices();
 
   // --- Intra-graph branch: shared GNN stack applied to each graph. ---
+  NEURSC_SPAN(intra_span, "west/intra");
   EdgeIndex query_edges = UndirectedEdges(query);
   EdgeIndex sub_edges = UndirectedEdges(sub.graph);
   Var hq = tape->Constant(query_features);
@@ -144,12 +149,14 @@ WEstModel::Forwarded WEstModel::Forward(Tape* tape, const Graph& query,
     hq = IntraForward(tape, k, hq, query_edges);
     hs = IntraForward(tape, k, hs, sub_edges);
   }
+  intra_span.End();
 
   Var query_repr = hq;
   Var sub_repr = hs;
 
   if (config_.use_inter) {
     // --- Inter-graph branch over the candidate bipartite graph. ---
+    NEURSC_SPAN(inter_span, "west/inter");
     EdgeIndex bipartite = BuildBipartiteEdges(query, sub, rng);
     Var hb = tape->Constant(StackRows(query_features, sub_features));
     for (auto& layer : inter_) {
@@ -166,6 +173,7 @@ WEstModel::Forwarded WEstModel::Forward(Tape* tape, const Graph& query,
   }
 
   // --- Readout (sum pooling) and prediction. ---
+  NEURSC_SPAN(readout_span, "west/readout");
   // Sum pooling per the paper; the 1/sqrt(1+n) scaling is an
   // implementation-stability detail that keeps the regressor's input
   // magnitude bounded across substructure sizes without destroying the

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "eval/metrics.h"
 
 namespace neursc {
@@ -27,6 +28,52 @@ void PrintTable(const std::vector<std::string>& header,
 /// Convenience: signed q-errors -> box stats -> printed row.
 void PrintQErrorBox(const std::string& name,
                     const std::vector<double>& signed_qerrors);
+
+/// Prints the per-stage cost table derived from the "span/<stage>"
+/// histograms in `snapshot`: one row per stage (count, total seconds, mean
+/// and p95 milliseconds, share of the parent stage's total), then a
+/// "coverage" line stating how much of the parent's wall time the
+/// `tile_stages` (non-overlapping direct sub-stages) account for.
+/// `parent_stage` is a span name like "estimate/total". Does nothing when
+/// the parent histogram is missing or empty.
+void PrintStageBreakdown(const MetricsSnapshot& snapshot,
+                         const std::string& parent_stage,
+                         const std::vector<std::string>& tile_stages);
+
+/// Fraction of the parent stage's total time covered by `tile_stages`
+/// (0 when the parent is missing or empty). Exposed for tests and for
+/// callers that want the number without the table.
+double StageCoverage(const MetricsSnapshot& snapshot,
+                     const std::string& parent_stage,
+                     const std::vector<std::string>& tile_stages);
+
+/// Harness-edge observability glue shared by neursc_cli and the bench
+/// binaries. Recognizes and strips
+///   --trace-out=<file>    write a Chrome trace_event JSON on Finish()
+///   --metrics-out=<file>  write a metrics snapshot JSON on Finish()
+/// from argv, starting the trace recorder immediately when --trace-out is
+/// present. Finish() (idempotent, also run by the destructor) writes the
+/// requested files and reports where they went.
+class ObservabilitySession {
+ public:
+  ObservabilitySession(int* argc, char** argv);
+  ~ObservabilitySession();
+
+  void Finish();
+
+  bool trace_requested() const { return !trace_path_.empty(); }
+  bool metrics_requested() const { return !metrics_path_.empty(); }
+  const std::string& trace_path() const { return trace_path_; }
+  const std::string& metrics_path() const { return metrics_path_; }
+
+  ObservabilitySession(const ObservabilitySession&) = delete;
+  ObservabilitySession& operator=(const ObservabilitySession&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool finished_ = false;
+};
 
 }  // namespace neursc
 

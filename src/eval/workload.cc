@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "graph/query_generator.h"
 #include "matching/enumeration.h"
 
@@ -23,6 +24,7 @@ Result<Workload> BuildWorkload(const Graph& data,
                                const std::vector<size_t>& sizes,
                                size_t per_size,
                                const WorkloadOptions& options) {
+  NEURSC_SPAN(workload_span, "workload/build");
   Workload workload;
   uint64_t seed = options.seed;
   for (size_t size : sizes) {
@@ -50,6 +52,7 @@ Result<Workload> BuildWorkload(const Graph& data,
       if (candidates.empty()) continue;
       std::vector<double> counts(candidates.size(), -1.0);
       ParallelFor(candidates.size(), [&](size_t i) {
+        NEURSC_SPAN(ground_truth_span, "workload/ground_truth");
         EnumerationOptions eopts;
         eopts.time_limit_seconds = options.ground_truth_time_limit;
         auto count = CountSubgraphIsomorphisms(candidates[i], data, eopts);

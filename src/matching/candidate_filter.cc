@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "matching/bipartite_matching.h"
 
 namespace neursc {
@@ -98,9 +100,12 @@ Result<CandidateSets> ComputeCandidateSets(
   if (query.NumVertices() == 0) {
     return Status::InvalidArgument("empty query graph");
   }
+  NEURSC_SPAN(filter_span, "filter/candidates");
+  NEURSC_COUNTER_INC("filter.queries");
   const size_t nq = query.NumVertices();
 
   // --- Stage 1: local pruning by neighborhood label profiles. ---
+  NEURSC_SPAN(local_span, "filter/local");
   std::vector<std::vector<Label>> query_profiles(nq);
   for (size_t u = 0; u < nq; ++u) {
     query_profiles[u] =
@@ -112,12 +117,14 @@ Result<CandidateSets> ComputeCandidateSets(
   std::vector<std::vector<Label>> data_profiles(data.NumVertices());
   std::vector<bool> data_profile_ready(data.NumVertices(), false);
 
+  size_t inspected = 0;
   CandidateSets result;
   result.candidates.resize(nq);
   for (size_t u = 0; u < nq; ++u) {
     VertexId qu = static_cast<VertexId>(u);
     Label label = query.GetLabel(qu);
     for (VertexId v : data.VerticesWithLabel(label)) {
+      ++inspected;
       if (!options.homomorphism_safe &&
           data.Degree(v) < query.Degree(qu)) {
         continue;
@@ -133,6 +140,11 @@ Result<CandidateSets> ComputeCandidateSets(
       if (keep) result.candidates[u].push_back(v);
     }
   }
+  local_span.End();
+  NEURSC_COUNTER_ADD("filter.vertices_inspected",
+                     static_cast<int64_t>(inspected));
+  NEURSC_COUNTER_ADD("filter.candidates_local",
+                     static_cast<int64_t>(result.TotalSize()));
   if (options.local_only || options.homomorphism_safe) return result;
 
   // Membership bitmaps, maintained across refinement sweeps.
@@ -143,7 +155,10 @@ Result<CandidateSets> ComputeCandidateSets(
   }
 
   // --- Stage 2: global refinement by semi-perfect matching. ---
+  NEURSC_SPAN(refine_span, "filter/refine");
+  int rounds_run = 0;
   for (int round = 0; round < options.refinement_rounds; ++round) {
+    ++rounds_run;
     bool changed = false;
     for (size_t u = 0; u < nq; ++u) {
       VertexId qu = static_cast<VertexId>(u);
@@ -170,6 +185,9 @@ Result<CandidateSets> ComputeCandidateSets(
     }
     if (!changed) break;
   }
+  NEURSC_COUNTER_ADD("filter.refine_rounds", rounds_run);
+  NEURSC_COUNTER_ADD("filter.candidates_refined",
+                     static_cast<int64_t>(result.TotalSize()));
   return result;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/metrics_registry.h"
+#include "common/trace.h"
+
 namespace neursc {
 
 namespace {
@@ -12,6 +15,7 @@ namespace {
 Result<ExtractionResult> SplitIntoSubstructures(
     const Graph& query, const Graph& data,
     const std::vector<VertexId>& universe, const CandidateSets& candidates) {
+  NEURSC_SPAN(split_span, "extract/split");
   ExtractionResult out;
   out.candidates = candidates;
   out.stats.candidate_union_size = universe.size();
@@ -67,6 +71,13 @@ Result<ExtractionResult> SplitIntoSubstructures(
   }
   out.stats.components_kept = out.substructures.size();
   if (out.substructures.empty()) out.early_terminate = true;
+  NEURSC_COUNTER_ADD("extract.components_total",
+                     static_cast<int64_t>(out.stats.components_total));
+  NEURSC_COUNTER_ADD("extract.substructures",
+                     static_cast<int64_t>(out.substructures.size()));
+  NEURSC_HISTOGRAM_RECORD(
+      "extract.substructures_per_query",
+      static_cast<double>(out.substructures.size()));
   return out;
 }
 
@@ -75,9 +86,11 @@ Result<ExtractionResult> SplitIntoSubstructures(
 Result<ExtractionResult> ExtractSubstructures(
     const Graph& query, const Graph& data,
     const CandidateFilterOptions& filter_options) {
+  NEURSC_SPAN(extract_span, "extract/total");
   auto candidates = ComputeCandidateSets(query, data, filter_options);
   if (!candidates.ok()) return candidates.status();
   if (candidates->AnyEmpty()) {
+    NEURSC_COUNTER_INC("extract.early_terminated");
     ExtractionResult out;
     out.early_terminate = true;
     out.candidates = std::move(candidates).value();

@@ -1,4 +1,7 @@
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -190,6 +193,21 @@ TEST(DeadlineTest, NoneNeverExpires) {
   EXPECT_GT(d.RemainingSeconds(), 1e9);
 }
 
+TEST(DeadlineTest, NoDeadlineRemainingIsInfinite) {
+  Deadline d = Deadline::None();
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+  EXPECT_EQ(d.RemainingSeconds(), Deadline::kNoDeadline);
+  // Arithmetic downstream of an unlimited budget stays well-behaved.
+  EXPECT_TRUE(d.RemainingSeconds() > 1e18);
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds() - 1e18));
+}
+
+TEST(DeadlineTest, FiniteBudgetIsNotInfinite) {
+  Deadline d(60.0);
+  EXPECT_FALSE(std::isinf(d.RemainingSeconds()));
+  EXPECT_LE(d.RemainingSeconds(), 60.0);
+}
+
 TEST(DeadlineTest, TinyBudgetExpires) {
   Deadline d(1e-9);
   double sink = 0;
@@ -204,6 +222,55 @@ TEST(LoggingTest, LevelsOrdered) {
   internal_logging::SetLogLevel(LogLevel::kWarning);
   EXPECT_EQ(internal_logging::GetLogLevel(), LogLevel::kWarning);
   internal_logging::SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, EveryNFiresOnFirstThenEveryNth) {
+  std::atomic<uint64_t> counter{0};
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (internal_logging::EveryN(&counter, 3)) ++fired;
+  }
+  // Calls 1, 4, 7, 10 fire.
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(LoggingTest, EveryNWithOneAlwaysFires) {
+  std::atomic<uint64_t> counter{0};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(internal_logging::EveryN(&counter, 1));
+  }
+}
+
+TEST(LoggingTest, LogEveryNMacroEvaluatesBodyLazily) {
+  internal_logging::SetLogLevel(LogLevel::kError);
+  int evaluated = 0;
+  for (int i = 0; i < 6; ++i) {
+    NEURSC_LOG_EVERY_N(Warning, 2) << "sampled " << ++evaluated;
+  }
+  // The stream body runs only on sampled iterations (1, 3, 5), and the
+  // macro nests safely inside an unbraced if/else.
+  EXPECT_EQ(evaluated, 3);
+  bool else_branch = false;
+  if (false)
+    NEURSC_LOG_EVERY_N(Warning, 1) << "dead";
+  else
+    else_branch = true;
+  EXPECT_TRUE(else_branch);
+  internal_logging::SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, ConcurrentEmitDoesNotInterleaveOrCrash) {
+  internal_logging::SetLogLevel(LogLevel::kInfo);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t]() {
+      for (int i = 0; i < 50; ++i) {
+        NEURSC_LOG(Debug) << "thread " << t << " line " << i;  // filtered out
+        NEURSC_LOG_EVERY_N(Info, 25) << "thread " << t << " sampled " << i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
 }
 
 }  // namespace

@@ -80,7 +80,7 @@ INSTANTIATE_TEST_SUITE_P(RandomPrograms, TapeFuzzTest,
 using TapeDeathTest = ::testing::Test;
 
 TEST(TapeDeathTest, DoubleBackwardAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
         Parameter p(Matrix::Scalar(1.0f));
@@ -94,7 +94,7 @@ TEST(TapeDeathTest, DoubleBackwardAborts) {
 }
 
 TEST(TapeDeathTest, NonScalarBackwardAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
         Parameter p(Matrix(2, 2, 1.0f));
@@ -106,7 +106,7 @@ TEST(TapeDeathTest, NonScalarBackwardAborts) {
 }
 
 TEST(TapeDeathTest, MatMulShapeMismatchAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
         Tape tape;
@@ -118,7 +118,7 @@ TEST(TapeDeathTest, MatMulShapeMismatchAborts) {
 }
 
 TEST(TapeDeathTest, GatherOutOfRangeAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
         Tape tape;

@@ -1,7 +1,9 @@
 #include "test_util.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -79,6 +81,59 @@ double MaxGradCheckError(const std::vector<Parameter*>& params,
     }
   }
   return max_rel_error;
+}
+
+std::string ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  NEURSC_CHECK(f != nullptr) << "cannot open " << path;
+  std::string out;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, got);
+  }
+  std::fclose(f);
+  return out;
+}
+
+bool IsBalancedJson(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  bool saw_container = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        saw_container = true;
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return saw_container && stack.empty() && !in_string;
 }
 
 }  // namespace testing_util

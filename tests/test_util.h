@@ -2,6 +2,7 @@
 #define NEURSC_TESTS_TEST_UTIL_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -25,6 +26,14 @@ uint64_t BruteForceCount(const Graph& query, const Graph& data);
 double MaxGradCheckError(const std::vector<Parameter*>& params,
                          const std::function<double()>& loss,
                          float step = 1e-3f);
+
+/// Whole file as a string; dies if the file cannot be read.
+std::string ReadFileToString(const std::string& path);
+
+/// Structural JSON well-formedness: non-empty, braces/brackets balance
+/// (string- and escape-aware), and the text is a single object or array.
+/// Not a full parser, but catches truncation and quoting bugs.
+bool IsBalancedJson(const std::string& text);
 
 }  // namespace testing_util
 }  // namespace neursc

@@ -1,0 +1,145 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/metrics_registry.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace neursc {
+namespace {
+
+/// Each test drives the global recorder, so serialize state around it.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultRecordsNothing) {
+  { TraceSpan span("test/disabled"); }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsWhenEnabled) {
+  TraceRecorder::Global().Start();
+  { TraceSpan span("test/enabled"); }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 1u);
+}
+
+TEST_F(TraceTest, EndIsIdempotent) {
+  TraceRecorder::Global().Start();
+  TraceSpan span("test/idempotent");
+  span.End();
+  span.End();
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 1u);
+}
+
+TEST_F(TraceTest, ElapsedSecondsGrowsAndFreezesAtEnd) {
+  TraceSpan span("test/elapsed");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  span.End();
+  double at_end = span.ElapsedSeconds();
+  EXPECT_GE(at_end, 0.004);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_DOUBLE_EQ(span.ElapsedSeconds(), at_end);
+}
+
+TEST_F(TraceTest, SpanFeedsHistogram) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("span/test.feed");
+  h->Reset();
+  { TraceSpan span("test.feed", h); }
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_GE(h->Min(), 0.0);
+}
+
+TEST_F(TraceTest, SpanMacroFeedsSpanHistogram) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("span/test/macro_feed");
+  h->Reset();
+  { NEURSC_SPAN(span, "test/macro_feed"); }
+  EXPECT_EQ(h->Count(), 1u);
+}
+
+TEST_F(TraceTest, ClearDiscardsBufferedEvents) {
+  TraceRecorder::Global().Start();
+  { TraceSpan span("test/cleared"); }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 1u);
+  TraceRecorder::Global().Clear();
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, WriteChromeTraceIsWellFormedAndNested) {
+  TraceRecorder::Global().Start();
+  {
+    TraceSpan outer("test/outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      TraceSpan inner("test/inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::string path = ::testing::TempDir() + "/trace_test.json";
+  Status st = TraceRecorder::Global().WriteChromeTrace(path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // Writing stops the recorder.
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
+
+  std::string json = testing_util::ReadFileToString(path);
+  EXPECT_TRUE(testing_util::IsBalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Complete events carry timestamps and durations in microseconds.
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceReportsBadPath) {
+  TraceRecorder::Global().Start();
+  { TraceSpan span("test/badpath"); }
+  Status st = TraceRecorder::Global().WriteChromeTrace(
+      "/nonexistent-dir-xyz/trace.json");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(TraceTest, EventsFromWorkerThreadsAreCollected) {
+  TraceRecorder::Global().Start();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([]() {
+      for (int i = 0; i < 8; ++i) {
+        TraceSpan span("test/worker");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 32u);
+}
+
+TEST_F(TraceTest, DisabledSpanOverheadIsSmall) {
+  // With the recorder stopped, a span is two clock reads and an atomic
+  // load. Bound the per-span cost loosely so the test stays robust on
+  // loaded CI machines while still catching accidental locking or
+  // allocation on the disabled path.
+  constexpr int kSpans = 200000;
+  TraceSpan total("test/overhead_total");
+  for (int i = 0; i < kSpans; ++i) {
+    TraceSpan span("test/overhead");
+  }
+  total.End();
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 0u);
+  EXPECT_LT(total.ElapsedSeconds() / kSpans, 5e-6);
+}
+
+}  // namespace
+}  // namespace neursc
