@@ -1,0 +1,156 @@
+// Scenario: the EstimateBatch serving path under load. Builds a ~50-query
+// workload, trains NeurSC once, then times the same query set three ways:
+//
+//   serial    sequential Estimate calls with NEURSC_THREADS=1
+//   batch@1   EstimateBatch with NEURSC_THREADS=1 (scheduling overhead)
+//   batch@N   EstimateBatch with the work pool at N threads
+//
+// The three runs start from identical estimator state (weights are saved
+// once and reloaded), so the per-query estimates must agree within 1e-10;
+// the run aborts loudly if they do not. Speedups and the max deviation are
+// printed, and --metrics-out/--trace-out export the usual observability
+// artifacts (the acceptance record for the >=3x batch speedup).
+//
+// Environment: NEURSC_THREADS sets N (default 8); NEURSC_EPOCHS,
+// NEURSC_QUERIES as in the other harnesses.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+
+using namespace neursc;
+using namespace neursc::bench;
+
+namespace {
+
+void SetThreads(size_t n) {
+  setenv("NEURSC_THREADS", std::to_string(n).c_str(), /*overwrite=*/1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ObservabilitySession observability(&argc, argv);
+  BenchEnv env = BenchEnv::FromEnvironment();
+
+  const char* threads_env = std::getenv("NEURSC_THREADS");
+  size_t pool_threads = 8;
+  if (threads_env != nullptr && std::atol(threads_env) > 0) {
+    pool_threads = static_cast<size_t>(std::atol(threads_env));
+  }
+
+  PrintSection("Batch estimation throughput (EstimateBatch work pool)");
+  SetThreads(pool_threads);  // parallel ground truth for workload build
+  auto dataset = BuildBenchDataset("Yeast", env, {4, 6, 8});
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<size_t> indices(dataset->workload.examples.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::vector<Graph> queries;
+  queries.reserve(indices.size());
+  for (size_t i : indices) {
+    queries.push_back(dataset->workload.examples[i].query);
+  }
+  std::printf("workload: %zu queries on %s\n", queries.size(),
+              dataset->graph.Summary().c_str());
+
+  NeurSCEstimator trained(dataset->graph, DefaultNeurSCConfig(env));
+  auto stats = trained.Train(Gather(dataset->workload, dataset->split.train));
+  if (!stats.ok()) {
+    std::fprintf(stderr, "train: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const std::string model_path = "/tmp/neursc_bench_batch.model";
+  if (Status st = trained.SaveModel(model_path); !st.ok()) {
+    std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto fresh_estimator = [&]() {
+    auto est = std::make_unique<NeurSCEstimator>(dataset->graph,
+                                                 DefaultNeurSCConfig(env));
+    Status st = est->LoadModel(model_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    return est;
+  };
+
+  // --- Serial reference: one query at a time, one thread. ---
+  SetThreads(1);
+  auto serial = fresh_estimator();
+  std::vector<double> serial_counts;
+  serial_counts.reserve(queries.size());
+  Timer serial_timer;
+  for (const Graph& q : queries) {
+    auto info = serial->Estimate(q);
+    if (!info.ok()) {
+      std::fprintf(stderr, "estimate: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    serial_counts.push_back(info->count);
+  }
+  double serial_seconds = serial_timer.ElapsedSeconds();
+
+  // --- Batch at one thread: isolates work-pool scheduling overhead. ---
+  auto batch1 = fresh_estimator();
+  Timer batch1_timer;
+  auto batch1_infos = batch1->EstimateBatch(queries);
+  double batch1_seconds = batch1_timer.ElapsedSeconds();
+  if (!batch1_infos.ok()) {
+    std::fprintf(stderr, "batch@1: %s\n",
+                 batch1_infos.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Batch at N threads: the serving configuration. ---
+  SetThreads(pool_threads);
+  auto batchn = fresh_estimator();
+  Timer batchn_timer;
+  auto batchn_infos = batchn->EstimateBatch(queries);
+  double batchn_seconds = batchn_timer.ElapsedSeconds();
+  if (!batchn_infos.ok()) {
+    std::fprintf(stderr, "batch@N: %s\n",
+                 batchn_infos.status().ToString().c_str());
+    return 1;
+  }
+
+  double max_diff = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    max_diff = std::max(
+        max_diff, std::fabs(serial_counts[i] - (*batch1_infos)[i].count));
+    max_diff = std::max(
+        max_diff, std::fabs(serial_counts[i] - (*batchn_infos)[i].count));
+  }
+
+  PrintTable(
+      {"mode", "threads", "seconds", "ms/query", "speedup"},
+      {{"serial Estimate", "1", FormatQ(serial_seconds),
+        FormatQ(1e3 * serial_seconds / queries.size()), "1.00"},
+       {"EstimateBatch", "1", FormatQ(batch1_seconds),
+        FormatQ(1e3 * batch1_seconds / queries.size()),
+        FormatQ(serial_seconds / batch1_seconds)},
+       {"EstimateBatch", std::to_string(pool_threads),
+        FormatQ(batchn_seconds),
+        FormatQ(1e3 * batchn_seconds / queries.size()),
+        FormatQ(serial_seconds / batchn_seconds)}});
+  std::printf("max |serial - batch| per-query deviation: %.3g\n", max_diff);
+  if (max_diff > 1e-10) {
+    std::fprintf(stderr,
+                 "FAIL: batch estimates deviate from the serial path\n");
+    return 1;
+  }
+  std::printf("batch@%zu speedup over serial: %.2fx\n", pool_threads,
+              serial_seconds / batchn_seconds);
+  return 0;
+}

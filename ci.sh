@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Local CI: the gate every change must pass.
 #
-#   1. Release-ish build (RelWithDebInfo) + full ctest suite.
+#   1. Release-ish build (RelWithDebInfo) + full ctest suite (includes the
+#      serial-vs-parallel differential suites estimate_parallel_test and
+#      candidate_filter_parallel_test).
 #   2. ThreadSanitizer build of the concurrency-sensitive pieces, running
-#      parallel_test plus the observability stress tests.
+#      every test labeled `concurrency` (ctest -L concurrency): ParallelFor,
+#      the observability stress tests, and the differential suites, with
+#      NEURSC_THREADS=8 to force real contention.
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -18,14 +22,14 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 echo
-echo "=== [2/2] TSan build + concurrency tests ==="
+echo "=== [2/2] TSan build + concurrency tests (ctest -L concurrency) ==="
 cmake -B build-tsan -S . -DNEURSC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  parallel_test metrics_stress_test metrics_registry_test trace_test
-for t in parallel_test metrics_stress_test metrics_registry_test trace_test; do
-  echo "--- $t (TSan) ---"
-  ./build-tsan/tests/"$t"
-done
+  parallel_test metrics_stress_test metrics_registry_test trace_test \
+  estimate_parallel_test candidate_filter_parallel_test \
+  pipeline_stress_test
+NEURSC_THREADS=8 ctest --test-dir build-tsan -L concurrency \
+  --output-on-failure
 
 echo
 echo "ci.sh: all green"

@@ -51,10 +51,11 @@ Result<Workload> CliWorkload(const Graph& data) {
 
 /// Stage table scoped to estimation. Callers Reset() the registry right
 /// before estimating so the table reflects only Estimate work; the two
-/// tiles are the direct children of "estimate/total" and should account
-/// for >=95% of its wall time.
-void PrintEstimateBreakdown() {
-  PrintStageBreakdown(MetricsRegistry::Global().Snapshot(), "estimate/total",
+/// tiles are the direct children of the parent span ("estimate/total" for
+/// single-query runs, "estimate/batch" for EstimateBatch runs) and should
+/// account for >=95% of its wall time.
+void PrintEstimateBreakdown(const char* parent = "estimate/total") {
+  PrintStageBreakdown(MetricsRegistry::Global().Snapshot(), parent,
                       {"estimate/prepare", "estimate/infer"});
 }
 
@@ -125,15 +126,19 @@ int CmdEvaluate(const std::string& graph_path,
   if (!st.ok()) return Fail(st);
 
   MetricsRegistry::Global().Reset();
-  std::vector<double> signed_qerrors;
-  for (size_t i : split.test) {
-    const auto& example = workload->examples[i];
-    auto info = estimator.Estimate(example.query);
-    if (!info.ok()) continue;
-    signed_qerrors.push_back(SignedQError(info->count, example.count));
-  }
-  PrintQErrorBox("NeurSC", signed_qerrors);
-  PrintEstimateBreakdown();
+  // All held-out queries go through the batch API: their substructure
+  // forward passes share one NEURSC_THREADS-wide work pool, and each
+  // per-query estimate matches a sequential Estimate call bit-for-bit.
+  auto evaluation = EvaluateBatch(&estimator, *workload, split.test);
+  if (!evaluation.ok()) return Fail(evaluation.status());
+  PrintQErrorBox("NeurSC", evaluation->signed_qerrors);
+  std::printf("batch: %zu queries in %.2fs (%.1fms/query)\n",
+              split.test.size(), evaluation->batch_seconds,
+              split.test.empty()
+                  ? 0.0
+                  : 1e3 * evaluation->batch_seconds /
+                        static_cast<double>(split.test.size()));
+  PrintEstimateBreakdown("estimate/batch");
   return 0;
 }
 

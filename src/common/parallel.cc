@@ -2,12 +2,20 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/metrics_registry.h"
 
 namespace neursc {
+
+namespace {
+
+thread_local bool in_parallel_worker = false;
+
+}  // namespace
 
 size_t DefaultThreadCount() {
   const char* env = std::getenv("NEURSC_THREADS");
@@ -19,9 +27,17 @@ size_t DefaultThreadCount() {
   return hw > 0 ? hw : 1;
 }
 
+bool InParallelWorker() { return in_parallel_worker; }
+
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t num_threads) {
   if (n == 0) return;
+  // Nested parallelism runs inline: the outer loop already owns the
+  // worker threads, and exceptions propagate naturally to the outer task.
+  if (in_parallel_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   if (num_threads == 0) num_threads = DefaultThreadCount();
   num_threads = std::min(num_threads, n);
   NEURSC_COUNTER_INC("parallel.invocations");
@@ -32,16 +48,34 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     return;
   }
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  size_t first_error_index = n;
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
     workers.emplace_back([&]() {
+      in_parallel_worker = true;
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
+        if (failed.load(std::memory_order_relaxed)) break;
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(error_mu);
+          // Keep the exception of the lowest failing index that ran.
+          if (i < first_error_index) {
+            first_error_index = i;
+            first_error = std::current_exception();
+          }
+        }
       }
+      in_parallel_worker = false;
     });
   }
   for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace neursc

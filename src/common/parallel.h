@@ -8,14 +8,27 @@ namespace neursc {
 
 /// Number of worker threads used by ParallelFor: the NEURSC_THREADS
 /// environment variable if set, otherwise the hardware concurrency
-/// (at least 1).
+/// (at least 1). Re-read on every call, so tests can change the
+/// environment between invocations.
 size_t DefaultThreadCount();
+
+/// True iff the calling thread is a ParallelFor worker. Nested ParallelFor
+/// calls from worker threads run inline (serially) instead of spawning a
+/// second level of threads, so a parallel outer loop whose body itself
+/// calls ParallelFor never oversubscribes the host.
+bool InParallelWorker();
 
 /// Runs fn(i) for i in [0, n) across `num_threads` threads (0 = default).
 /// Work is distributed by atomic counter, so uneven task costs balance.
 /// fn must be safe to call concurrently for distinct i; results should be
 /// written to pre-sized per-index slots. Deterministic output requires fn
 /// itself to be deterministic per index (scheduling order is not).
+///
+/// Exceptions: if fn throws, the exception from the lowest failing index
+/// *that ran* is rethrown on the calling thread after all workers have
+/// joined. Once any task has thrown, workers stop claiming new indices;
+/// tasks already in flight still run to completion. Output slots of
+/// indices that were skipped after the failure are left untouched.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t num_threads = 0);
 

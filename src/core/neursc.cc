@@ -1,10 +1,14 @@
 #include "core/neursc.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "common/parallel.h"
 #include "common/trace.h"
 #include "nn/serialize.h"
 
@@ -313,6 +317,51 @@ Status NeurSCEstimator::LoadModel(const std::string& path) {
       AllModelParameters(model_.get(), critic_.get()), path);
 }
 
+std::vector<size_t> NeurSCEstimator::SelectSubstructures(size_t total) {
+  // Sec. 5.8: evaluate a uniform sample of ceil(r_s * |G_sub|)
+  // substructures; the caller scales the sum by the inverse fraction. The
+  // sample is drawn from rng_ before any parallel work starts, so it is
+  // the same at every thread count.
+  std::vector<size_t> selected(total);
+  std::iota(selected.begin(), selected.end(), 0);
+  if (config_.sample_rate < 1.0 && total > 1) {
+    size_t used = static_cast<size_t>(
+        std::ceil(config_.sample_rate * static_cast<double>(total)));
+    used = std::max<size_t>(1, std::min(used, total));
+    rng_.Shuffle(&selected);
+    selected.resize(used);
+  }
+  return selected;
+}
+
+std::vector<uint64_t> NeurSCEstimator::DrawTaskSeeds(size_t count) {
+  std::vector<uint64_t> seeds(count);
+  for (size_t i = 0; i < count; ++i) seeds[i] = rng_.engine()();
+  return seeds;
+}
+
+void NeurSCEstimator::RunInferenceTasks(
+    std::vector<InferenceTask>* tasks,
+    std::chrono::steady_clock::time_point epoch) {
+  NEURSC_COUNTER_ADD("estimate.substructures_evaluated",
+                     static_cast<int64_t>(tasks->size()));
+  ParallelFor(tasks->size(), [&](size_t i) {
+    InferenceTask& task = (*tasks)[i];
+    NEURSC_SPAN(substructure_span, "estimate/substructure");
+    auto start = std::chrono::steady_clock::now();
+    // One tape and one RNG per task: nothing the forward pass mutates is
+    // shared across workers (see docs/threading.md).
+    Tape tape;
+    Rng rng(task.seed);
+    auto fw = model_->Forward(&tape, *task.query, *task.sub,
+                              *task.query_features, *task.sub_features, &rng);
+    task.prediction = tape.Value(fw.prediction).scalar();
+    auto end = std::chrono::steady_clock::now();
+    task.start_seconds = std::chrono::duration<double>(start - epoch).count();
+    task.end_seconds = std::chrono::duration<double>(end - epoch).count();
+  });
+}
+
 Result<EstimateInfo> NeurSCEstimator::Estimate(const Graph& query) {
   NEURSC_SPAN(estimate_span, "estimate/total");
   NEURSC_COUNTER_INC("estimate.queries");
@@ -334,34 +383,26 @@ Result<EstimateInfo> NeurSCEstimator::Estimate(const Graph& query) {
     return info;
   }
 
-  // Sec. 5.8: evaluate a uniform sample of ceil(r_s * |G_sub|)
-  // substructures and scale the sum by the inverse sampling fraction.
   const size_t total = prep->extraction.substructures.size();
-  size_t used = total;
-  std::vector<size_t> selected(total);
-  std::iota(selected.begin(), selected.end(), 0);
-  if (config_.sample_rate < 1.0 && total > 1) {
-    used = static_cast<size_t>(
-        std::ceil(config_.sample_rate * static_cast<double>(total)));
-    used = std::max<size_t>(1, std::min(used, total));
-    rng_.Shuffle(&selected);
-    selected.resize(used);
-  }
+  std::vector<size_t> selected = SelectSubstructures(total);
+  std::vector<uint64_t> seeds = DrawTaskSeeds(selected.size());
+  const size_t used = selected.size();
   info.num_used = used;
-  NEURSC_COUNTER_ADD("estimate.substructures_evaluated",
-                     static_cast<int64_t>(used));
 
   NEURSC_SPAN(infer_span, "estimate/infer");
-  double sum = 0.0;
-  for (size_t idx : selected) {
-    NEURSC_SPAN(substructure_span, "estimate/substructure");
-    Tape tape;
-    auto fw = model_->Forward(&tape, query,
-                              prep->extraction.substructures[idx],
-                              prep->query_features, prep->sub_features[idx],
-                              &rng_);
-    sum += tape.Value(fw.prediction).scalar();
+  std::vector<InferenceTask> tasks(used);
+  for (size_t k = 0; k < used; ++k) {
+    tasks[k].query = &query;
+    tasks[k].sub = &prep->extraction.substructures[selected[k]];
+    tasks[k].query_features = &prep->query_features;
+    tasks[k].sub_features = &prep->sub_features[selected[k]];
+    tasks[k].seed = seeds[k];
   }
+  RunInferenceTasks(&tasks, std::chrono::steady_clock::now());
+  // Ordered reduction: summing in selection order keeps the result
+  // bit-identical to a serial evaluation.
+  double sum = 0.0;
+  for (const InferenceTask& task : tasks) sum += task.prediction;
   infer_span.End();
   info.count = sum * static_cast<double>(total) / static_cast<double>(used);
   info.inference_seconds = infer_span.ElapsedSeconds();
@@ -382,23 +423,130 @@ Result<EstimateInfo> NeurSCEstimator::EstimateOnSubstructures(
     return info;
   }
   NEURSC_SPAN(infer_span, "estimate/infer");
+  const size_t n = ext.substructures.size();
   Matrix query_features = features_.Compute(query);
-  double sum = 0.0;
-  for (const auto& sub : ext.substructures) {
-    NEURSC_SPAN(substructure_span, "estimate/substructure");
-    Tape tape;
-    Matrix sub_features = features_.Compute(sub.graph);
-    auto fw = model_->Forward(&tape, query, sub, query_features,
-                              sub_features, &rng_);
-    sum += tape.Value(fw.prediction).scalar();
+  std::vector<Matrix> sub_features(n);
+  ParallelFor(n, [&](size_t i) {
+    sub_features[i] = features_.Compute(ext.substructures[i].graph);
+  });
+  std::vector<uint64_t> seeds = DrawTaskSeeds(n);
+  std::vector<InferenceTask> tasks(n);
+  for (size_t i = 0; i < n; ++i) {
+    tasks[i].query = &query;
+    tasks[i].sub = &ext.substructures[i];
+    tasks[i].query_features = &query_features;
+    tasks[i].sub_features = &sub_features[i];
+    tasks[i].seed = seeds[i];
   }
+  RunInferenceTasks(&tasks, std::chrono::steady_clock::now());
+  double sum = 0.0;
+  for (const InferenceTask& task : tasks) sum += task.prediction;
   infer_span.End();
-  info.num_used = ext.substructures.size();
+  info.num_used = n;
   info.count = sum;
   info.inference_seconds = infer_span.ElapsedSeconds();
   estimate_span.End();
   info.total_seconds = estimate_span.ElapsedSeconds();
   return info;
+}
+
+Result<std::vector<EstimateInfo>> NeurSCEstimator::EstimateBatch(
+    const std::vector<Graph>& queries) {
+  NEURSC_SPAN(batch_span, "estimate/batch");
+  NEURSC_COUNTER_INC("estimate.batches");
+  NEURSC_COUNTER_ADD("estimate.queries",
+                     static_cast<int64_t>(queries.size()));
+  std::vector<EstimateInfo> infos(queries.size());
+  if (queries.empty()) return infos;
+  const auto epoch = std::chrono::steady_clock::now();
+
+  // Phase 1: extraction + feature preparation, parallel across queries.
+  // Prepare never touches rng_, so running it out of order is safe.
+  NEURSC_SPAN(prepare_span, "estimate/prepare");
+  std::vector<std::optional<Prepared>> prepared(queries.size());
+  std::vector<Status> prepare_status(queries.size());
+  std::vector<double> prepare_start(queries.size(), 0.0);
+  std::vector<double> prepare_end(queries.size(), 0.0);
+  ParallelFor(queries.size(), [&](size_t q) {
+    auto start = std::chrono::steady_clock::now();
+    auto prep = Prepare(queries[q]);
+    if (prep.ok()) {
+      prepared[q] = std::move(prep).value();
+    } else {
+      prepare_status[q] = prep.status();
+    }
+    auto end = std::chrono::steady_clock::now();
+    prepare_start[q] = std::chrono::duration<double>(start - epoch).count();
+    prepare_end[q] = std::chrono::duration<double>(end - epoch).count();
+  });
+  prepare_span.End();
+  for (const Status& st : prepare_status) {
+    if (!st.ok()) return st;
+  }
+
+  // Phase 2 (serial, query order): sampling decisions and forward-pass
+  // seeds. This consumes rng_ exactly as sequential Estimate calls would,
+  // which is what makes EstimateBatch match them bit-for-bit.
+  std::vector<InferenceTask> tasks;
+  std::vector<std::pair<size_t, size_t>> task_range(queries.size(), {0, 0});
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EstimateInfo& info = infos[q];
+    const Prepared& prep = *prepared[q];
+    info.extraction_seconds = prepare_end[q] - prepare_start[q];
+    info.num_substructures = prep.extraction.substructures.size();
+    if (prep.extraction.early_terminate ||
+        prep.extraction.substructures.empty()) {
+      NEURSC_COUNTER_INC("estimate.early_terminated");
+      info.early_terminated = true;
+      info.count = 0.0;
+      info.total_seconds = info.extraction_seconds;
+      continue;
+    }
+    std::vector<size_t> selected =
+        SelectSubstructures(prep.extraction.substructures.size());
+    std::vector<uint64_t> seeds = DrawTaskSeeds(selected.size());
+    info.num_used = selected.size();
+    task_range[q].first = tasks.size();
+    for (size_t k = 0; k < selected.size(); ++k) {
+      InferenceTask task;
+      task.query = &queries[q];
+      task.sub = &prep.extraction.substructures[selected[k]];
+      task.query_features = &prep.query_features;
+      task.sub_features = &prep.sub_features[selected[k]];
+      task.seed = seeds[k];
+      task.query_index = q;
+      tasks.push_back(task);
+    }
+    task_range[q].second = tasks.size();
+  }
+
+  // Phase 3: one work pool over all (query, substructure) pairs.
+  NEURSC_SPAN(infer_span, "estimate/infer");
+  RunInferenceTasks(&tasks, epoch);
+  infer_span.End();
+
+  // Phase 4: ordered per-query reduction and span-derived timings. The
+  // per-query inference interval is [first task start, last task end];
+  // since every task starts after every Prepare finished, the invariant
+  // total >= extraction + inference holds per query.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto [begin, end] = task_range[q];
+    if (begin == end) continue;  // early-terminated
+    EstimateInfo& info = infos[q];
+    double sum = 0.0;
+    double first_start = tasks[begin].start_seconds;
+    double last_end = tasks[begin].end_seconds;
+    for (size_t t = begin; t < end; ++t) {
+      sum += tasks[t].prediction;
+      first_start = std::min(first_start, tasks[t].start_seconds);
+      last_end = std::max(last_end, tasks[t].end_seconds);
+    }
+    info.count = sum * static_cast<double>(info.num_substructures) /
+                 static_cast<double>(info.num_used);
+    info.inference_seconds = last_end - first_start;
+    info.total_seconds = last_end - prepare_start[q];
+  }
+  return infos;
 }
 
 }  // namespace neursc

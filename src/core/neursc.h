@@ -2,6 +2,7 @@
 #define NEURSC_CORE_NEURSC_H_
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -104,6 +105,16 @@ struct TrainStats {
 
 /// The NeurSC estimator bound to one data graph: substructure extraction
 /// (Sec. 4) plus the WEst network (Sec. 5) and its adversarial trainer.
+///
+/// Threading (see docs/threading.md): the estimator parallelizes *inside*
+/// Estimate/EstimateOnSubstructures/EstimateBatch — per-substructure WEst
+/// forward passes each run on their own Tape with a private Rng, and the
+/// per-substructure counts are reduced in index order. All random decisions
+/// (the r_s substructure sample and the per-substructure bipartite linking
+/// seeds) are drawn from the estimator RNG serially before the parallel
+/// region, so estimates are bit-identical for every NEURSC_THREADS value.
+/// The estimator object itself is NOT safe for concurrent calls from
+/// multiple caller threads (each call advances rng_).
 class NeurSCEstimator {
  public:
   NeurSCEstimator(const Graph& data, NeurSCConfig config);
@@ -113,13 +124,24 @@ class NeurSCEstimator {
   Result<TrainStats> Train(const std::vector<TrainingExample>& examples);
 
   /// Estimates c(q) for one query (Alg. 1), sampling substructures at the
-  /// configured r_s.
+  /// configured r_s. Substructure forward passes run in parallel; the
+  /// result does not depend on the thread count.
   Result<EstimateInfo> Estimate(const Graph& query);
 
   /// Estimate using externally supplied substructures (the "perfect
   /// substructure" ablation feeds ground-truth-derived ones).
   Result<EstimateInfo> EstimateOnSubstructures(const Graph& query,
                                                const ExtractionResult& ext);
+
+  /// Estimates every query of a batch, scheduling the queries'
+  /// substructure forward passes into one shared work pool (queries x
+  /// substructures), after a parallel extraction pass. Consumes rng_ in
+  /// query order exactly as sequential Estimate calls would, so
+  /// EstimateBatch(qs)[i] equals the i-th sequential Estimate(qs[i]) from
+  /// the same starting state, at any thread count. Fails with the status
+  /// of the first (lowest-index) query whose extraction fails.
+  Result<std::vector<EstimateInfo>> EstimateBatch(
+      const std::vector<Graph>& queries);
 
   /// Persists the trained weights (estimation network, and the critic if
   /// enabled). Load requires an estimator constructed with an identical
@@ -148,7 +170,37 @@ class NeurSCEstimator {
     std::vector<Matrix> sub_features;
   };
 
+  /// One WEst forward pass of the inference work pool: an independent
+  /// (query, substructure) evaluation with a pre-drawn RNG seed. Filled-in
+  /// fields (prediction, timing) are written only by the worker that owns
+  /// the task's index, so a task vector can be processed by ParallelFor.
+  struct InferenceTask {
+    const Graph* query = nullptr;
+    const Substructure* sub = nullptr;
+    const Matrix* query_features = nullptr;
+    const Matrix* sub_features = nullptr;
+    /// Seed for the task-private Rng (bipartite linking edges, Sec. 5.3);
+    /// drawn from rng_ serially so it is thread-count independent.
+    uint64_t seed = 0;
+    /// Index of the owning query within an EstimateBatch call.
+    size_t query_index = 0;
+    // --- Outputs (written by the evaluating worker) ---
+    double prediction = 0.0;
+    /// Wall-clock interval of the forward pass, seconds relative to the
+    /// epoch passed to RunInferenceTasks.
+    double start_seconds = 0.0;
+    double end_seconds = 0.0;
+  };
+
   Result<Prepared> Prepare(const Graph& query);
+  /// Evaluates every task over ParallelFor, one Tape + Rng per task.
+  void RunInferenceTasks(std::vector<InferenceTask>* tasks,
+                         std::chrono::steady_clock::time_point epoch);
+  /// r_s sampling (Sec. 5.8): the substructure indices to evaluate, in
+  /// evaluation order. Advances rng_ when sampling kicks in.
+  std::vector<size_t> SelectSubstructures(size_t total);
+  /// Serially draws one forward-pass seed per selected substructure.
+  std::vector<uint64_t> DrawTaskSeeds(size_t count);
   /// Runs the discriminator's inner maximization (Alg. 3 lines 10-12) on
   /// detached representations.
   void UpdateCritic(const Matrix& query_repr, const Matrix& sub_repr,

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "eval/metrics.h"
 #include "graph/query_generator.h"
 #include "matching/enumeration.h"
 
@@ -190,6 +191,27 @@ std::vector<TrainingExample> Gather(const Workload& workload,
   out.reserve(indices.size());
   for (size_t i : indices) out.push_back(workload.examples[i]);
   return out;
+}
+
+Result<BatchEvaluation> EvaluateBatch(NeurSCEstimator* estimator,
+                                      const Workload& workload,
+                                      const std::vector<size_t>& indices) {
+  NEURSC_SPAN(eval_span, "workload/evaluate_batch");
+  std::vector<Graph> queries;
+  queries.reserve(indices.size());
+  for (size_t i : indices) queries.push_back(workload.examples[i].query);
+  auto infos = estimator->EstimateBatch(queries);
+  if (!infos.ok()) return infos.status();
+  eval_span.End();
+  BatchEvaluation result;
+  result.infos = std::move(infos).value();
+  result.batch_seconds = eval_span.ElapsedSeconds();
+  result.signed_qerrors.reserve(indices.size());
+  for (size_t k = 0; k < indices.size(); ++k) {
+    result.signed_qerrors.push_back(SignedQError(
+        result.infos[k].count, workload.examples[indices[k]].count));
+  }
+  return result;
 }
 
 }  // namespace neursc

@@ -72,6 +72,25 @@ std::vector<WorkloadSplit> KFoldSplits(const Workload& workload, size_t k,
 std::vector<TrainingExample> Gather(const Workload& workload,
                                     const std::vector<size_t>& indices);
 
+/// Per-query outcome of a batch evaluation run.
+struct BatchEvaluation {
+  /// EstimateBatch results, aligned with the `indices` passed in.
+  std::vector<EstimateInfo> infos;
+  /// SignedQError(estimate, ground truth) per query, same order.
+  std::vector<double> signed_qerrors;
+  /// Wall time of the EstimateBatch call.
+  double batch_seconds = 0.0;
+};
+
+/// Estimates the workload examples at `indices` through
+/// NeurSCEstimator::EstimateBatch — the queries' substructure forward
+/// passes share one work pool — and scores each against its ground truth.
+/// Per-query results are identical to sequential Estimate calls at every
+/// NEURSC_THREADS value (see docs/threading.md).
+Result<BatchEvaluation> EvaluateBatch(NeurSCEstimator* estimator,
+                                      const Workload& workload,
+                                      const std::vector<size_t>& indices);
+
 }  // namespace neursc
 
 #endif  // NEURSC_EVAL_WORKLOAD_H_

@@ -1,9 +1,11 @@
 #include "matching/candidate_filter.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
 
 #include "common/metrics_registry.h"
+#include "common/parallel.h"
 #include "common/trace.h"
 #include "matching/bipartite_matching.h"
 
@@ -105,42 +107,73 @@ Result<CandidateSets> ComputeCandidateSets(
   const size_t nq = query.NumVertices();
 
   // --- Stage 1: local pruning by neighborhood label profiles. ---
+  // The per-query-vertex loop is embarrassingly parallel once the data
+  // profiles it reads are materialized, so the stage runs as two
+  // ParallelFor passes whose tasks write only per-index slots; the
+  // resulting candidate sets are identical to a serial sweep at every
+  // thread count (see docs/threading.md).
   NEURSC_SPAN(local_span, "filter/local");
   std::vector<std::vector<Label>> query_profiles(nq);
-  for (size_t u = 0; u < nq; ++u) {
+  ParallelFor(nq, [&](size_t u) {
     query_profiles[u] =
         NeighborhoodProfile(query, static_cast<VertexId>(u),
                             options.profile_radius);
+  });
+
+  // The smallest query degree per distinct query label bounds which data
+  // vertices can survive the degree test, so profiles are only computed
+  // for vertices that at least one query vertex will actually inspect
+  // past that test (mirroring the serial lazy cache).
+  std::vector<size_t> min_degree_for_label;
+  for (size_t u = 0; u < nq; ++u) {
+    Label label = query.GetLabel(static_cast<VertexId>(u));
+    if (label >= min_degree_for_label.size()) {
+      min_degree_for_label.resize(label + 1, SIZE_MAX);
+    }
+    min_degree_for_label[label] =
+        std::min(min_degree_for_label[label],
+                 options.homomorphism_safe
+                     ? size_t{0}
+                     : query.Degree(static_cast<VertexId>(u)));
   }
-
-  // Cache data profiles for vertices we actually inspect.
+  std::vector<VertexId> to_profile;
+  for (Label label = 0; label < min_degree_for_label.size(); ++label) {
+    if (min_degree_for_label[label] == SIZE_MAX) continue;
+    for (VertexId v : data.VerticesWithLabel(label)) {
+      if (data.Degree(v) >= min_degree_for_label[label]) {
+        to_profile.push_back(v);
+      }
+    }
+  }
+  // Each vertex has exactly one label, so `to_profile` is duplicate-free
+  // and every task writes a distinct data_profiles slot.
   std::vector<std::vector<Label>> data_profiles(data.NumVertices());
-  std::vector<bool> data_profile_ready(data.NumVertices(), false);
+  ParallelFor(to_profile.size(), [&](size_t i) {
+    data_profiles[to_profile[i]] =
+        NeighborhoodProfile(data, to_profile[i], options.profile_radius);
+  });
 
-  size_t inspected = 0;
+  std::vector<size_t> inspected_per_vertex(nq, 0);
   CandidateSets result;
   result.candidates.resize(nq);
-  for (size_t u = 0; u < nq; ++u) {
+  ParallelFor(nq, [&](size_t u) {
     VertexId qu = static_cast<VertexId>(u);
     Label label = query.GetLabel(qu);
     for (VertexId v : data.VerticesWithLabel(label)) {
-      ++inspected;
+      ++inspected_per_vertex[u];
       if (!options.homomorphism_safe &&
           data.Degree(v) < query.Degree(qu)) {
         continue;
-      }
-      if (!data_profile_ready[v]) {
-        data_profiles[v] =
-            NeighborhoodProfile(data, v, options.profile_radius);
-        data_profile_ready[v] = true;
       }
       bool keep = options.homomorphism_safe
                       ? IsSubSet(query_profiles[u], data_profiles[v])
                       : IsSubMultiset(query_profiles[u], data_profiles[v]);
       if (keep) result.candidates[u].push_back(v);
     }
-  }
+  });
   local_span.End();
+  size_t inspected = 0;
+  for (size_t c : inspected_per_vertex) inspected += c;
   NEURSC_COUNTER_ADD("filter.vertices_inspected",
                      static_cast<int64_t>(inspected));
   NEURSC_COUNTER_ADD("filter.candidates_local",

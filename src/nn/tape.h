@@ -38,6 +38,20 @@ struct Var {
 /// passes. The op vocabulary is the minimal set needed by GNNs: dense
 /// algebra, pointwise nonlinearities, and segment (scatter/gather) ops for
 /// message passing and attention.
+///
+/// Threading contract (docs/threading.md): a Tape is confined to one
+/// thread — it is not internally synchronized, and all its mutable state
+/// (the node list, per-node gradients, the backward flag) lives in the
+/// Tape instance; there are no global or thread-local caches anywhere in
+/// the nn layer. Independent tapes on different threads are therefore safe
+/// to run concurrently, *including* forward passes that share Parameters:
+/// Constant()/forward ops only read Parameter::value. The exceptions are
+/// Leaf() + Backward(), which accumulate into Parameter::grad without
+/// synchronization — gradient work for one Parameter set must stay on one
+/// thread at a time (training is serial today; inference tapes never call
+/// Backward). Mutating a shared Parameter (optimizer steps, weight
+/// clamping, LoadModel) while another thread runs a forward pass over it
+/// is a data race.
 class Tape {
  public:
   Tape() = default;

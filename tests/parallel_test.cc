@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -50,6 +52,75 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
 
 TEST(ParallelForTest, DefaultThreadCountPositive) {
   EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(ParallelForTest, PropagatesWorkerException) {
+  EXPECT_THROW(
+      ParallelFor(100, [](size_t i) {
+        if (i == 37) throw std::runtime_error("task 37 failed");
+      }, 4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, PropagatesExceptionMessage) {
+  try {
+    ParallelFor(64, [](size_t i) {
+      if (i >= 60) throw std::runtime_error("boom " + std::to_string(i));
+    }, 8);
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u);
+  }
+}
+
+TEST(ParallelForTest, PropagatesSerialException) {
+  EXPECT_THROW(
+      ParallelFor(10, [](size_t i) {
+        if (i == 3) throw std::logic_error("serial failure");
+      }, 1),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, StopsClaimingWorkAfterException) {
+  std::atomic<size_t> executed{0};
+  try {
+    ParallelFor(100000, [&](size_t i) {
+      executed.fetch_add(1);
+      if (i == 0) throw std::runtime_error("early failure");
+    }, 4);
+  } catch (const std::runtime_error&) {
+  }
+  // Workers stop claiming new indices once a task has thrown; with the
+  // failure on the very first index, the vast majority must be skipped.
+  EXPECT_LT(executed.load(), 100000u);
+}
+
+TEST(ParallelForTest, SurvivesExceptionAndRemainsUsable) {
+  try {
+    ParallelFor(16, [](size_t) { throw std::runtime_error("x"); }, 4);
+  } catch (const std::runtime_error&) {
+  }
+  std::vector<std::atomic<int>> visits(50);
+  ParallelFor(50, [&](size_t i) { visits[i].fetch_add(1); }, 4);
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForTest, NestedParallelForRunsInline) {
+  const size_t outer = 8;
+  const size_t inner = 16;
+  std::vector<std::vector<int>> hits(outer, std::vector<int>(inner, 0));
+  std::vector<int> inline_flags(outer, 0);
+  ParallelFor(outer, [&](size_t i) {
+    EXPECT_TRUE(InParallelWorker());
+    // The nested call must execute on this same worker thread, in order.
+    ParallelFor(inner, [&, i](size_t j) { hits[i][j] += 1; }, 8);
+    inline_flags[i] = 1;
+  }, 4);
+  EXPECT_FALSE(InParallelWorker());
+  for (size_t i = 0; i < outer; ++i) {
+    EXPECT_EQ(inline_flags[i], 1);
+    for (size_t j = 0; j < inner; ++j) EXPECT_EQ(hits[i][j], 1);
+  }
 }
 
 }  // namespace
