@@ -1,13 +1,157 @@
 // Reproduces Table 4: training time (seconds) for one epoch, Q4 workload,
 // for LSS, NeurSC-I, NeurSC-D and full NeurSC on every dataset.
+//
+// Additionally sweeps NEURSC_THREADS over full multi-epoch training runs
+// and reports the serial-vs-parallel speedup together with a bit-level
+// agreement check of the final weights and loss curves (the training
+// determinism contract of docs/threading.md). The process exits non-zero
+// if any swept thread count disagrees with the serial run, which lets
+// ci.sh use this binary as the training-throughput smoke.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench_util.h"
+#include "common/metrics_registry.h"
 
 namespace neursc {
 namespace bench {
 namespace {
+
+/// Scoped NEURSC_THREADS override; restores the previous value on exit.
+class ThreadsOverride {
+ public:
+  explicit ThreadsOverride(size_t n) {
+    const char* old = std::getenv("NEURSC_THREADS");
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    setenv("NEURSC_THREADS", std::to_string(n).c_str(), 1);
+  }
+  ~ThreadsOverride() {
+    if (had_old_) {
+      setenv("NEURSC_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("NEURSC_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+struct SweepRun {
+  TrainStats stats;
+  std::vector<Matrix> weights;  // model then critic parameters
+  bool ok = false;
+};
+
+SweepRun TrainAtThreadCount(const Graph& data, const NeurSCConfig& config,
+                            const std::vector<TrainingExample>& train,
+                            size_t threads) {
+  ThreadsOverride guard(threads);
+  SweepRun run;
+  NeurSCEstimator estimator(data, config);
+  auto stats = estimator.Train(train);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "train at %zu threads: %s\n", threads,
+                 stats.status().ToString().c_str());
+    return run;
+  }
+  run.stats = *stats;
+  for (Parameter* p : estimator.model().Parameters()) {
+    run.weights.push_back(p->value);
+  }
+  if (estimator.critic() != nullptr) {
+    for (Parameter* p : estimator.critic()->Parameters()) {
+      run.weights.push_back(p->value);
+    }
+  }
+  run.ok = true;
+  return run;
+}
+
+bool BitIdenticalWeights(const std::vector<Matrix>& a,
+                         const std::vector<Matrix>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].rows() != b[i].rows() || a[i].cols() != b[i].cols()) return false;
+    if (std::memcmp(a[i].data(), b[i].data(),
+                    a[i].rows() * a[i].cols() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Full-training NEURSC_THREADS sweep on the first buildable dataset.
+/// Returns false when a parallel run diverges from the serial reference.
+bool RunThreadSweep(const BenchEnv& env) {
+  const size_t kThreadCounts[] = {1, 2, 8};
+  Result<BenchDataset> ds = Status::InvalidArgument("no dataset profiles");
+  for (const auto& profile : AllDatasetProfiles()) {
+    ds = BuildBenchDataset(profile.name, env, {4});
+    if (ds.ok()) break;
+  }
+  if (!ds.ok()) {
+    std::fprintf(stderr, "thread sweep: %s\n", ds.status().ToString().c_str());
+    return false;
+  }
+  auto train = Gather(ds->workload, ds->split.train);
+  NeurSCConfig config = DefaultNeurSCConfig(env);
+
+  SweepRun reference = TrainAtThreadCount(ds->graph, config, train, 1);
+  if (!reference.ok) return false;
+  double serial_seconds = reference.stats.total_seconds;
+  NEURSC_GAUGE_SET("bench.table4.train_serial_seconds", serial_seconds);
+
+  bool all_agree = true;
+  std::vector<std::vector<std::string>> rows;
+  for (size_t threads : kThreadCounts) {
+    SweepRun run = threads == 1
+                       ? reference
+                       : TrainAtThreadCount(ds->graph, config, train, threads);
+    if (!run.ok) return false;
+    bool weights_ok = BitIdenticalWeights(run.weights, reference.weights);
+    bool losses_ok =
+        run.stats.epoch_mean_loss == reference.stats.epoch_mean_loss &&
+        run.stats.epoch_validation_qerror ==
+            reference.stats.epoch_validation_qerror;
+    all_agree = all_agree && weights_ok && losses_ok;
+    double speedup = run.stats.total_seconds > 0.0
+                         ? serial_seconds / run.stats.total_seconds
+                         : 0.0;
+    // Registry lookups instead of NEURSC_GAUGE_SET: the macro caches the
+    // gauge per call site, which would alias the per-thread-count names.
+    std::string tag = "bench.table4.train_threads_" + std::to_string(threads);
+    auto& registry = MetricsRegistry::Global();
+    registry.GetGauge(tag + ".seconds")->Set(run.stats.total_seconds);
+    registry.GetGauge(tag + ".speedup")->Set(speedup);
+    registry.GetGauge(tag + ".bit_identical")
+        ->Set(weights_ok && losses_ok ? 1.0 : 0.0);
+    char buf[48];
+    std::vector<std::string> row;
+    row.push_back(std::to_string(threads));
+    std::snprintf(buf, sizeof(buf), "%.3f", run.stats.total_seconds);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+    row.push_back(buf);
+    row.push_back(weights_ok && losses_ok ? "yes" : "NO");
+    rows.push_back(std::move(row));
+  }
+  PrintSection("Training NEURSC_THREADS sweep (" + ds->profile.name +
+               ", full run)");
+  PrintTable({"Threads", "Seconds", "Speedup", "Bit-identical"}, rows);
+  if (!all_agree) {
+    std::fprintf(stderr,
+                 "FAIL: parallel training diverged from the serial run\n");
+  }
+  return all_agree;
+}
 
 double OneEpochSeconds(NeurSCAdapter* model,
                        const std::vector<TrainingExample>& train,
@@ -22,7 +166,7 @@ double OneEpochSeconds(NeurSCAdapter* model,
   return seconds.back();
 }
 
-void Run() {
+int Run() {
   BenchEnv env = BenchEnv::FromEnvironment();
   std::vector<std::vector<std::string>> rows;
   for (const auto& profile : AllDatasetProfiles()) {
@@ -76,6 +220,8 @@ void Run() {
   }
   PrintSection("Table 4: Training time (seconds) for one epoch (Q4)");
   PrintTable({"Data Graph", "LSS", "NeurSC-I", "NeurSC-D", "NeurSC"}, rows);
+
+  return RunThreadSweep(env) ? 0 : 1;
 }
 
 }  // namespace
@@ -84,6 +230,5 @@ void Run() {
 
 int main(int argc, char** argv) {
   neursc::ObservabilitySession observability(&argc, argv);
-  neursc::bench::Run();
-  return 0;
+  return neursc::bench::Run();
 }

@@ -2,12 +2,16 @@
 # Local CI: the gate every change must pass.
 #
 #   1. Release-ish build (RelWithDebInfo) + full ctest suite (includes the
-#      serial-vs-parallel differential suites estimate_parallel_test and
-#      candidate_filter_parallel_test).
+#      serial-vs-parallel differential suites estimate_parallel_test,
+#      candidate_filter_parallel_test, and train_parallel_test).
 #   2. ThreadSanitizer build of the concurrency-sensitive pieces, running
-#      every test labeled `concurrency` (ctest -L concurrency): ParallelFor,
-#      the observability stress tests, and the differential suites, with
-#      NEURSC_THREADS=8 to force real contention.
+#      every test labeled `concurrency` (ctest -L concurrency): ParallelFor
+#      and the worker pool, the observability stress tests, and the
+#      differential suites, with NEURSC_THREADS=8 to force real contention.
+#   3. Training-throughput smoke: bench_table4_training_time on a tiny
+#      dataset sweeps NEURSC_THREADS {1,2,8} over full training runs and
+#      exits non-zero unless every parallel run reproduces the serial
+#      final weights and loss curves bit for bit.
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -16,20 +20,26 @@ cd "$(dirname "$0")"
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/2] Release build + tests ==="
+echo "=== [1/3] Release build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 echo
-echo "=== [2/2] TSan build + concurrency tests (ctest -L concurrency) ==="
+echo "=== [2/3] TSan build + concurrency tests (ctest -L concurrency) ==="
 cmake -B build-tsan -S . -DNEURSC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   parallel_test metrics_stress_test metrics_registry_test trace_test \
   estimate_parallel_test candidate_filter_parallel_test \
-  pipeline_stress_test
+  train_parallel_test pipeline_stress_test
 NEURSC_THREADS=8 ctest --test-dir build-tsan -L concurrency \
   --output-on-failure
+
+echo
+echo "=== [3/3] Training-throughput smoke (NEURSC_THREADS sweep) ==="
+cmake --build build -j "$JOBS" --target bench_table4_training_time
+NEURSC_SCALE=0.25 NEURSC_EPOCHS=4 NEURSC_QUERIES=8 \
+  ./build/bench/bench_table4_training_time
 
 echo
 echo "ci.sh: all green"

@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -15,6 +16,154 @@ namespace {
 
 thread_local bool in_parallel_worker = false;
 
+/// Shared state of one ParallelFor region. Lives on the calling thread's
+/// stack; workers only touch it between joining the job (under the pool
+/// mutex) and decrementing the active count (under the pool mutex), so the
+/// caller can safely destroy it once no worker is active.
+struct Job {
+  const std::function<void(size_t)>* fn = nullptr;
+  size_t n = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  size_t first_error_index = 0;
+};
+
+/// Claims indices off `job` until the range is exhausted or a task has
+/// failed. Runs on workers and on the calling thread alike.
+void RunJobTasks(Job* job) {
+  for (size_t i = job->next.fetch_add(1); i < job->n;
+       i = job->next.fetch_add(1)) {
+    if (job->failed.load(std::memory_order_relaxed)) break;
+    try {
+      (*job->fn)(i);
+    } catch (...) {
+      job->failed.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(job->error_mu);
+      // Keep the exception of the lowest failing index that ran.
+      if (!job->first_error || i < job->first_error_index) {
+        job->first_error_index = i;
+        job->first_error = std::current_exception();
+      }
+    }
+  }
+}
+
+/// Lazily-initialized persistent worker pool. Training issues thousands of
+/// small ParallelFor regions per run; spawning and joining threads per call
+/// would dominate those regions, so workers are spawned once (growing on
+/// demand up to the largest thread count ever requested) and parked on a
+/// condition variable between regions.
+///
+/// One region runs at a time: a second caller blocks in Run() until the
+/// first completes. The calling thread participates in its own region, so a
+/// region asking for N threads uses N-1 pool workers.
+class WorkerPool {
+ public:
+  static WorkerPool& Instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  void Run(size_t n, const std::function<void(size_t)>& fn,
+           size_t num_threads) {
+    NEURSC_GAUGE_SET("parallel.pool_waiting_regions",
+                     static_cast<double>(waiting_regions_.fetch_add(1) + 1));
+    std::lock_guard<std::mutex> region(region_mu_);
+    NEURSC_GAUGE_SET("parallel.pool_waiting_regions",
+                     static_cast<double>(waiting_regions_.fetch_sub(1) - 1));
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    const size_t helpers = num_threads - 1;
+    size_t pool_size;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      while (threads_.size() < helpers) {
+        threads_.emplace_back([this] { WorkerLoop(); });
+      }
+      pool_size = threads_.size();
+      current_ = &job;
+      ++job_seq_;
+      joiners_left_ = helpers;
+    }
+    NEURSC_GAUGE_SET("parallel.pool_threads",
+                     static_cast<double>(pool_size));
+    cv_.notify_all();
+    // The caller works too, with worker semantics so nested ParallelFor
+    // calls from its tasks run inline like they do on pool workers.
+    in_parallel_worker = true;
+    RunJobTasks(&job);
+    in_parallel_worker = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // No worker may join once current_ is cleared; joining and clearing
+      // are both under mu_, so after the wait below the job is unreachable.
+      current_ = nullptr;
+      done_cv_.wait(lk, [&] { return active_ == 0; });
+    }
+    if (job.first_error) std::rethrow_exception(job.first_error);
+  }
+
+  size_t ThreadCount() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return threads_.size();
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+ private:
+  WorkerPool() = default;
+
+  void WorkerLoop() {
+    in_parallel_worker = true;
+    uint64_t seen_seq = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      cv_.wait(lk, [&] {
+        return shutdown_ || (current_ != nullptr && job_seq_ != seen_seq &&
+                             joiners_left_ > 0);
+      });
+      if (shutdown_) return;
+      seen_seq = job_seq_;
+      Job* job = current_;
+      --joiners_left_;
+      ++active_;
+      lk.unlock();
+      RunJobTasks(job);
+      lk.lock();
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  // Serializes top-level regions (nested calls never reach Run()).
+  std::mutex region_mu_;
+  std::atomic<size_t> waiting_regions_{0};
+
+  // Guards all fields below plus job join/leave transitions.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  Job* current_ = nullptr;
+  // Bumped per region so a worker joins each job at most once.
+  uint64_t job_seq_ = 0;
+  // How many workers may still join the current job (a region may use
+  // fewer workers than the pool holds).
+  size_t joiners_left_ = 0;
+  // Workers currently inside RunJobTasks for the current job.
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
 }  // namespace
 
 size_t DefaultThreadCount() {
@@ -28,6 +177,10 @@ size_t DefaultThreadCount() {
 }
 
 bool InParallelWorker() { return in_parallel_worker; }
+
+size_t WorkerPoolThreadCount() {
+  return WorkerPool::Instance().ThreadCount();
+}
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t num_threads) {
@@ -47,35 +200,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-  size_t first_error_index = n;
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&]() {
-      in_parallel_worker = true;
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        if (failed.load(std::memory_order_relaxed)) break;
-        try {
-          fn(i);
-        } catch (...) {
-          failed.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(error_mu);
-          // Keep the exception of the lowest failing index that ran.
-          if (i < first_error_index) {
-            first_error_index = i;
-            first_error = std::current_exception();
-          }
-        }
-      }
-      in_parallel_worker = false;
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
+  WorkerPool::Instance().Run(n, fn, num_threads);
 }
 
 }  // namespace neursc

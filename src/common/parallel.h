@@ -12,11 +12,19 @@ namespace neursc {
 /// environment between invocations.
 size_t DefaultThreadCount();
 
-/// True iff the calling thread is a ParallelFor worker. Nested ParallelFor
-/// calls from worker threads run inline (serially) instead of spawning a
-/// second level of threads, so a parallel outer loop whose body itself
-/// calls ParallelFor never oversubscribes the host.
+/// True iff the calling thread is executing ParallelFor tasks (a pool
+/// worker, or the calling thread while it participates in its own region).
+/// Nested ParallelFor calls from such threads run inline (serially)
+/// instead of scheduling a second level of parallelism, so a parallel
+/// outer loop whose body itself calls ParallelFor never oversubscribes
+/// the host.
 bool InParallelWorker();
+
+/// Number of persistent pool workers currently spawned (diagnostics /
+/// tests). Zero until the first multi-threaded ParallelFor call; the pool
+/// is lazily initialized and grows to the largest thread count requested
+/// so far, never shrinking.
+size_t WorkerPoolThreadCount();
 
 /// Runs fn(i) for i in [0, n) across `num_threads` threads (0 = default).
 /// Work is distributed by atomic counter, so uneven task costs balance.
@@ -24,11 +32,19 @@ bool InParallelWorker();
 /// written to pre-sized per-index slots. Deterministic output requires fn
 /// itself to be deterministic per index (scheduling order is not).
 ///
+/// Threads come from a lazily-initialized persistent worker pool (the
+/// calling thread participates, so a call asking for N threads uses N-1
+/// pool workers). Spawn/join overhead is paid once per process, not per
+/// call — training issues thousands of small regions per run. One region
+/// runs at a time; a ParallelFor from a second caller thread blocks until
+/// the in-flight region completes.
+///
 /// Exceptions: if fn throws, the exception from the lowest failing index
 /// *that ran* is rethrown on the calling thread after all workers have
-/// joined. Once any task has thrown, workers stop claiming new indices;
-/// tasks already in flight still run to completion. Output slots of
-/// indices that were skipped after the failure are left untouched.
+/// finished the region. Once any task has thrown, workers stop claiming
+/// new indices; tasks already in flight still run to completion. Output
+/// slots of indices that were skipped after the failure are left
+/// untouched.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t num_threads = 0);
 

@@ -1,6 +1,7 @@
 #include "core/active_learner.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "common/logging.h"
@@ -99,13 +100,18 @@ ActiveLearner::ModelHooks MakeNeurSCHooks(
     std::unique_ptr<NeurSCEstimator>* slot, const Graph& data,
     NeurSCConfig config) {
   ActiveLearner::ModelHooks hooks;
+  // One Prepared cache across every reset/train cycle: extraction and
+  // feature initialization depend only on (data graph, query, config), not
+  // on the estimator seed, so all ensemble members and all later rounds
+  // reuse each labeled query's extraction instead of redoing it.
+  auto cache = std::make_shared<PreparedQueryCache>();
   hooks.reset = [slot, &data, config](uint64_t seed) {
     NeurSCConfig seeded = config;
     seeded.seed = seed;
     *slot = std::make_unique<NeurSCEstimator>(data, seeded);
   };
-  hooks.train = [slot](const std::vector<TrainingExample>& examples) {
-    auto stats = (*slot)->Train(examples);
+  hooks.train = [slot, cache](const std::vector<TrainingExample>& examples) {
+    auto stats = (*slot)->Train(examples, cache.get());
     return stats.ok() ? Status::OK() : stats.status();
   };
   hooks.estimate = [slot](const Graph& query) -> Result<double> {

@@ -73,7 +73,10 @@ class ActiveLearner {
 };
 
 /// Convenience hook factory for NeurSCEstimator. The estimator object is
-/// rebuilt on reset with the stored config (seed overridden).
+/// rebuilt on reset with the stored config (seed overridden). All train
+/// calls share one PreparedQueryCache, so each labeled query's extraction
+/// and features are computed once per Run() instead of once per ensemble
+/// member per round (extraction is seed-independent; see neursc.h).
 ActiveLearner::ModelHooks MakeNeurSCHooks(
     std::unique_ptr<NeurSCEstimator>* slot, const Graph& data,
     NeurSCConfig config);

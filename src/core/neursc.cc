@@ -102,9 +102,10 @@ void NeurSCEstimator::UpdateCritic(
   }
 }
 
-Var NeurSCEstimator::BuildQueryLoss(Tape* tape, const Graph& query,
-                                    const Prepared& prep,
-                                    double target_count, bool adversarial) {
+Var NeurSCEstimator::BuildQueryLoss(
+    Tape* tape, const Graph& query, const Prepared& prep, double target_count,
+    bool adversarial, Rng* rng,
+    std::vector<CriticUpdateInput>* critic_inputs) {
   const auto& subs = prep.extraction.substructures;
   if (prep.extraction.early_terminate || subs.empty()) return Var{};
 
@@ -112,16 +113,20 @@ Var NeurSCEstimator::BuildQueryLoss(Tape* tape, const Graph& query,
   std::vector<Var> wasserstein_terms;
   for (size_t j = 0; j < subs.size(); ++j) {
     auto fw = model_->Forward(tape, query, subs[j], prep.query_features,
-                              prep.sub_features[j], &rng_);
+                              prep.sub_features[j], rng);
     total_prediction = total_prediction.valid()
                            ? tape->Add(total_prediction, fw.prediction)
                            : fw.prediction;
     if (adversarial && config_.use_discriminator) {
       if (config_.metric == DistanceMetric::kWasserstein) {
-        // Inner maximization on detached representations, then the
-        // estimator-side L_w term on the live graph.
-        UpdateCritic(tape->Value(fw.query_repr), tape->Value(fw.sub_repr),
-                     subs[j].local_candidates);
+        // The critic is read frozen here (its parameters may be shared
+        // with other tapes running concurrently); the inner maximization
+        // runs serially after the batch's parallel region, on the
+        // detached representations captured for the caller below.
+        if (critic_inputs != nullptr) {
+          critic_inputs->push_back(CriticUpdateInput{
+              j, tape->Value(fw.query_repr), tape->Value(fw.sub_repr)});
+        }
         Var sq = critic_->Score(tape, fw.query_repr);
         Var ss = critic_->Score(tape, fw.sub_repr);
         Correspondence pairs = SelectCorrespondenceByScores(
@@ -161,7 +166,7 @@ Var NeurSCEstimator::BuildQueryLoss(Tape* tape, const Graph& query,
 }
 
 Result<TrainStats> NeurSCEstimator::Train(
-    const std::vector<TrainingExample>& examples) {
+    const std::vector<TrainingExample>& examples, PreparedQueryCache* cache) {
   if (examples.empty()) {
     return Status::InvalidArgument("no training examples");
   }
@@ -169,22 +174,49 @@ Result<TrainStats> NeurSCEstimator::Train(
   TrainStats stats;
 
   // Extraction and feature initialization are query-deterministic: do them
-  // once (Alg. 3 recomputes per epoch; hoisting is purely an optimization).
+  // once, in parallel across examples (Alg. 3 recomputes per epoch;
+  // hoisting is purely an optimization). Prepare never touches rng_, so
+  // running out of order is safe; per-index slots keep the results
+  // thread-count independent. With a cache, each query's Prepared data is
+  // shared across Train calls.
   NEURSC_SPAN(prepare_span, "train/prepare");
-  std::vector<Prepared> prepared;
+  std::vector<std::shared_ptr<const Prepared>> all_prepared(examples.size());
+  std::vector<Status> prepare_status(examples.size());
+  ParallelFor(examples.size(), [&](size_t i) {
+    uint64_t key = 0;
+    if (cache != nullptr) {
+      key = examples[i].query.Fingerprint();
+      if (auto hit = cache->Lookup(key)) {
+        all_prepared[i] = std::move(hit);
+        return;
+      }
+    }
+    auto prep = Prepare(examples[i].query);
+    if (!prep.ok()) {
+      prepare_status[i] = prep.status();
+      return;
+    }
+    auto owned = std::make_shared<const Prepared>(std::move(prep).value());
+    all_prepared[i] =
+        cache != nullptr ? cache->Insert(key, std::move(owned)) : owned;
+  });
+  // Lowest-index failure wins, matching the old serial loop's behavior.
+  for (const Status& st : prepare_status) {
+    if (!st.ok()) return st;
+  }
+  std::vector<std::shared_ptr<const Prepared>> prepared;
   std::vector<const TrainingExample*> usable;
   prepared.reserve(examples.size());
-  for (const auto& example : examples) {
-    auto prep = Prepare(example.query);
-    if (!prep.ok()) return prep.status();
-    if (prep->extraction.early_terminate ||
-        prep->extraction.substructures.empty()) {
+  for (size_t i = 0; i < examples.size(); ++i) {
+    if (all_prepared[i]->extraction.early_terminate ||
+        all_prepared[i]->extraction.substructures.empty()) {
       ++stats.examples_skipped;
       continue;
     }
-    prepared.push_back(std::move(prep).value());
-    usable.push_back(&example);
+    prepared.push_back(all_prepared[i]);
+    usable.push_back(&examples[i]);
   }
+  all_prepared.clear();
   prepare_span.End();
   if (usable.empty()) {
     return Status::InvalidArgument(
@@ -207,15 +239,37 @@ Result<TrainStats> NeurSCEstimator::Train(
                       indices.end());
     indices.resize(indices.size() - held);
   }
+  // Tape-size hints (allocation churn): a query's graph structure fixes
+  // its node count per (adversarial?) mode, so reserving last time's size
+  // removes nodes_ regrowth from the steady state.
+  std::vector<size_t> tape_node_hint(usable.size(), 0);
+
   auto validation_qerror = [&]() {
+    // Forward-only, parameters frozen: the held-out losses are
+    // independent. Seeds are drawn serially in validation order and the
+    // reduction sums in that same order, so the q-error is bit-identical
+    // at every thread count.
+    std::vector<uint64_t> seeds = DrawTaskSeeds(validation.size());
+    std::vector<double> losses(validation.size(), 0.0);
+    std::vector<uint8_t> valid(validation.size(), 0);
+    ParallelFor(validation.size(), [&](size_t k) {
+      size_t idx = validation[k];
+      Tape tape;
+      tape.ReserveNodes(tape_node_hint[idx]);
+      Rng rng(seeds[k]);
+      Var loss = BuildQueryLoss(&tape, usable[idx]->query, *prepared[idx],
+                                usable[idx]->count, /*adversarial=*/false,
+                                &rng, nullptr);
+      if (!loss.valid()) return;
+      losses[k] = tape.Value(loss).scalar();
+      valid[k] = 1;
+      tape_node_hint[idx] = tape.NumNodes();
+    });
     double total = 0.0;
     size_t n = 0;
-    for (size_t idx : validation) {
-      Tape tape;
-      Var loss = BuildQueryLoss(&tape, usable[idx]->query, prepared[idx],
-                                usable[idx]->count, /*adversarial=*/false);
-      if (!loss.valid()) continue;
-      total += tape.Value(loss).scalar();
+    for (size_t k = 0; k < validation.size(); ++k) {
+      if (!valid[k]) continue;
+      total += losses[k];
       ++n;
     }
     return n > 0 ? total / static_cast<double>(n) : 0.0;
@@ -227,6 +281,11 @@ Result<TrainStats> NeurSCEstimator::Train(
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     NEURSC_SPAN(epoch_span, "train/epoch");
     bool adversarial = epoch >= config_.pretrain_epochs;
+    // Whether the parallel pass must capture detached representations for
+    // the serial critic updates after it.
+    const bool wasserstein_updates =
+        adversarial && config_.use_discriminator && critic_ != nullptr &&
+        config_.metric == DistanceMetric::kWasserstein;
     rng_.Shuffle(&indices);
     double loss_sum = 0.0;
     size_t loss_count = 0;
@@ -235,21 +294,70 @@ Result<TrainStats> NeurSCEstimator::Train(
       NEURSC_SPAN(batch_span, "train/batch");
       NEURSC_COUNTER_INC("train.batches");
       size_t end = std::min(start + config_.batch_size, indices.size());
+      const size_t batch = end - start;
       opt_theta_->ZeroGrad();
       if (opt_omega_ != nullptr) opt_omega_->ZeroGrad();
-      for (size_t i = start; i < end; ++i) {
-        size_t idx = indices[i];
-        Tape tape;
-        Var loss = BuildQueryLoss(&tape, usable[idx]->query, prepared[idx],
-                                  usable[idx]->count, adversarial);
-        if (!loss.valid()) continue;
-        loss_sum += tape.Value(loss).scalar();
-        ++loss_count;
-        tape.Backward(loss);
+
+      // Forward-pass seeds, drawn serially in batch order, so bipartite
+      // linking randomness does not depend on the thread count.
+      std::vector<uint64_t> seeds = DrawTaskSeeds(batch);
+
+      // Parallel region: theta and omega are frozen for the whole batch,
+      // so the per-example forward+backward passes are independent. Each
+      // runs on its own tape with a private Rng and routes its leaf
+      // gradients into a tape-local sink instead of Parameter::grad.
+      std::vector<GradientSink> sinks(batch);
+      std::vector<double> example_loss(batch, 0.0);
+      std::vector<uint8_t> has_loss(batch, 0);
+      std::vector<std::vector<CriticUpdateInput>> critic_inputs(batch);
+      {
+        NEURSC_SPAN(parallel_span, "train/batch_parallel");
+        ParallelFor(batch, [&](size_t k) {
+          size_t idx = indices[start + k];
+          Tape tape;
+          tape.ReserveNodes(tape_node_hint[idx]);
+          tape.set_gradient_sink(&sinks[k]);
+          Rng rng(seeds[k]);
+          Var loss = BuildQueryLoss(
+              &tape, usable[idx]->query, *prepared[idx], usable[idx]->count,
+              adversarial, &rng,
+              wasserstein_updates ? &critic_inputs[k] : nullptr);
+          if (!loss.valid()) return;
+          example_loss[k] = tape.Value(loss).scalar();
+          has_loss[k] = 1;
+          tape.Backward(loss);
+          tape_node_hint[idx] = tape.NumNodes();
+        });
+      }
+
+      // Deterministic reduction: sinks merge into Parameter::grad in
+      // example-index order, fixing the float association no matter which
+      // worker ran which example.
+      for (size_t k = 0; k < batch; ++k) {
+        if (has_loss[k]) {
+          loss_sum += example_loss[k];
+          ++loss_count;
+        }
+        sinks[k].ReduceIntoParameters();
       }
       // The estimator step must not consume gradients that leaked into the
-      // critic during the combined backward pass.
+      // critic during the combined backward passes.
       if (opt_omega_ != nullptr) opt_omega_->ZeroGrad();
+      // Critic inner maximization (Alg. 3 lines 10-12), serial by design:
+      // disc_iters is small, every update mutates omega, and the fixed
+      // (example, substructure) order keeps the critic's trajectory
+      // thread-count independent. The estimator-side L_w above used the
+      // batch-start critic; these updates take effect from the next batch.
+      if (wasserstein_updates) {
+        for (size_t k = 0; k < batch; ++k) {
+          size_t idx = indices[start + k];
+          const auto& subs = prepared[idx]->extraction.substructures;
+          for (const CriticUpdateInput& input : critic_inputs[k]) {
+            UpdateCritic(input.query_repr, input.sub_repr,
+                         subs[input.sub_index].local_candidates);
+          }
+        }
+      }
       opt_theta_->ClipGradNorm(config_.grad_clip_norm);
       opt_theta_->Step();
       opt_theta_->ZeroGrad();

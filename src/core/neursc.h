@@ -2,9 +2,12 @@
 #define NEURSC_CORE_NEURSC_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -103,25 +106,55 @@ struct TrainStats {
   bool early_stopped = false;
 };
 
+class PreparedQueryCache;
+
 /// The NeurSC estimator bound to one data graph: substructure extraction
 /// (Sec. 4) plus the WEst network (Sec. 5) and its adversarial trainer.
 ///
 /// Threading (see docs/threading.md): the estimator parallelizes *inside*
-/// Estimate/EstimateOnSubstructures/EstimateBatch — per-substructure WEst
-/// forward passes each run on their own Tape with a private Rng, and the
-/// per-substructure counts are reduced in index order. All random decisions
-/// (the r_s substructure sample and the per-substructure bipartite linking
-/// seeds) are drawn from the estimator RNG serially before the parallel
-/// region, so estimates are bit-identical for every NEURSC_THREADS value.
-/// The estimator object itself is NOT safe for concurrent calls from
-/// multiple caller threads (each call advances rng_).
+/// Estimate/EstimateOnSubstructures/EstimateBatch and Train.
+///
+/// Inference: per-substructure WEst forward passes each run on their own
+/// Tape with a private Rng, and the per-substructure counts are reduced in
+/// index order.
+///
+/// Training: within a batch the parameters are frozen, so the per-example
+/// forward+backward passes run over ParallelFor, each on its own Tape with
+/// a tape-local GradientSink; the sinks are then reduced into
+/// Parameter::grad serially in example-index order before the optimizer
+/// step, and the critic's inner maximization (Alg. 3 lines 10-12) runs
+/// serially afterwards. The per-epoch validation q-error loop is
+/// parallelized the same way (forward-only, ordered reduction).
+///
+/// In both modes every random decision (the r_s substructure sample, the
+/// example shuffle, and the per-forward-pass bipartite linking seeds) is
+/// drawn from the estimator RNG serially before the parallel region, so
+/// results are bit-identical for every NEURSC_THREADS value. The estimator
+/// object itself is NOT safe for concurrent calls from multiple caller
+/// threads (each call advances rng_).
 class NeurSCEstimator {
  public:
+  /// Extraction + feature computation for one query. Immutable once built;
+  /// both are seed-independent functions of (data graph, query, config), so
+  /// Prepared data can be shared across estimator instances constructed
+  /// with the same data graph and filter/feature settings (see
+  /// PreparedQueryCache).
+  struct Prepared {
+    ExtractionResult extraction;
+    Matrix query_features;
+    std::vector<Matrix> sub_features;
+  };
+
   NeurSCEstimator(const Graph& data, NeurSCConfig config);
 
   /// Trains on `examples` following Alg. 3 (with the L_c-only pretraining
-  /// stage of Sec. 5.6). Deterministic given the config seed.
-  Result<TrainStats> Train(const std::vector<TrainingExample>& examples);
+  /// stage of Sec. 5.6). Deterministic given the config seed, at every
+  /// NEURSC_THREADS value. When `cache` is non-null, per-query extraction
+  /// and feature results are looked up / deposited there instead of being
+  /// recomputed (the active-learning ensemble retrains many estimators on
+  /// the same labeled set).
+  Result<TrainStats> Train(const std::vector<TrainingExample>& examples,
+                           PreparedQueryCache* cache = nullptr);
 
   /// Estimates c(q) for one query (Alg. 1), sampling substructures at the
   /// configured r_s. Substructure forward passes run in parallel; the
@@ -162,14 +195,6 @@ class NeurSCEstimator {
   Discriminator* critic() { return critic_.get(); }
 
  private:
-  /// Extraction + feature computation for one query (cached per training
-  /// example).
-  struct Prepared {
-    ExtractionResult extraction;
-    Matrix query_features;
-    std::vector<Matrix> sub_features;
-  };
-
   /// One WEst forward pass of the inference work pool: an independent
   /// (query, substructure) evaluation with a pre-drawn RNG seed. Filled-in
   /// fields (prediction, timing) are written only by the worker that owns
@@ -192,6 +217,16 @@ class NeurSCEstimator {
     double end_seconds = 0.0;
   };
 
+  /// Detached (query_repr, sub_repr) pair captured during a batch's
+  /// parallel forward passes, consumed by the serial critic updates that
+  /// follow (Alg. 3 lines 10-12). sub_index identifies the substructure
+  /// within the example's ExtractionResult, for the candidate sets.
+  struct CriticUpdateInput {
+    size_t sub_index = 0;
+    Matrix query_repr;
+    Matrix sub_repr;
+  };
+
   Result<Prepared> Prepare(const Graph& query);
   /// Evaluates every task over ParallelFor, one Tape + Rng per task.
   void RunInferenceTasks(std::vector<InferenceTask>* tasks,
@@ -206,9 +241,14 @@ class NeurSCEstimator {
   void UpdateCritic(const Matrix& query_repr, const Matrix& sub_repr,
                     const std::vector<std::vector<VertexId>>& candidates);
   /// Forward + loss for one query on `tape`; returns the loss Var, or an
-  /// invalid Var when the query has no usable substructures.
+  /// invalid Var when the query has no usable substructures. `rng` drives
+  /// the bipartite linking edges; callers in parallel regions pass a
+  /// task-private Rng seeded serially. The critic (when scored) is read
+  /// frozen; if `critic_inputs` is non-null, the detached representations
+  /// needed for its later serial updates are appended there.
   Var BuildQueryLoss(Tape* tape, const Graph& query, const Prepared& prep,
-                     double target_count, bool adversarial);
+                     double target_count, bool adversarial, Rng* rng,
+                     std::vector<CriticUpdateInput>* critic_inputs);
 
   const Graph& data_;
   NeurSCConfig config_;
@@ -218,6 +258,63 @@ class NeurSCEstimator {
   std::unique_ptr<AdamOptimizer> opt_theta_;
   std::unique_ptr<AdamOptimizer> opt_omega_;
   Rng rng_;
+};
+
+/// Shared cache of per-query Prepared data (extraction + features), keyed
+/// by Graph::Fingerprint(). Extraction and feature initialization are
+/// seed-independent, so entries are valid across any estimators that share
+/// a data graph and filter/feature configuration — the active-learning
+/// ensemble, which retrains every member on the same growing labeled set,
+/// is the intended user. Thread-safe: Train's parallel prepare pass probes
+/// it from worker threads.
+class PreparedQueryCache {
+ public:
+  PreparedQueryCache() = default;
+  PreparedQueryCache(const PreparedQueryCache&) = delete;
+  PreparedQueryCache& operator=(const PreparedQueryCache&) = delete;
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+ private:
+  friend class NeurSCEstimator;
+
+  /// Null on miss (counts toward misses()).
+  std::shared_ptr<const NeurSCEstimator::Prepared> Lookup(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  /// Returns the winning entry: `value`, or the existing one if another
+  /// thread inserted the key first (both are equal — Prepared is a
+  /// deterministic function of the query).
+  std::shared_ptr<const NeurSCEstimator::Prepared> Insert(
+      uint64_t key, std::shared_ptr<const NeurSCEstimator::Prepared> value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.emplace(key, std::move(value));
+    return it->second;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t,
+                     std::shared_ptr<const NeurSCEstimator::Prepared>>
+      entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace neursc

@@ -55,6 +55,24 @@ std::string Graph::Summary() const {
   return buf;
 }
 
+uint64_t Graph::Fingerprint() const {
+  // FNV-1a over the defining arrays. Sizes are mixed in first so that
+  // e.g. an empty graph and a single unlabeled vertex hash differently.
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(NumVertices());
+  mix(NumEdges());
+  for (Label l : labels_) mix(l);
+  for (size_t off : offsets_) mix(off);
+  for (VertexId v : adjacency_) mix(v);
+  return h;
+}
+
 void GraphBuilder::Reserve(size_t num_vertices, size_t num_edges) {
   labels_.reserve(num_vertices);
   edges_.reserve(num_edges);

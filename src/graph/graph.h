@@ -79,6 +79,12 @@ class Graph {
   /// A short human-readable summary, e.g. "|V|=3112 |E|=12519 |L|=71 d=8.0".
   std::string Summary() const;
 
+  /// 64-bit FNV-1a structural fingerprint over labels and adjacency.
+  /// Graphs that are equal vertex-for-vertex (same ids, labels, and edges)
+  /// hash equal; used as a cache key for per-query derived data (e.g.
+  /// PreparedQueryCache). Not isomorphism-invariant.
+  uint64_t Fingerprint() const;
+
  private:
   friend class GraphBuilder;
 

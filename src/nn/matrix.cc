@@ -58,6 +58,29 @@ void Matrix::ClampInPlace(float limit) {
   for (float& v : data_) v = std::clamp(v, -limit, limit);
 }
 
+namespace {
+
+/// crow[j] += aik * brow[j] for j in [0, cols), unrolled 4-wide. Per-entry
+/// float association is unchanged by the unroll (each crow[j] still
+/// receives one addition per k), so results are identical to the rolled
+/// loop; the unroll just exposes independent FMA chains to the compiler.
+/// The training matrices (features, hidden layers, gradients) are dense,
+/// so there is no zero-skip branch here — a data-dependent branch per
+/// (i, k) pessimizes the dense path that dominates training and defeats
+/// vectorization.
+inline void AxpyRow(float aik, const float* brow, float* crow, size_t cols) {
+  size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    crow[j] += aik * brow[j];
+    crow[j + 1] += aik * brow[j + 1];
+    crow[j + 2] += aik * brow[j + 2];
+    crow[j + 3] += aik * brow[j + 3];
+  }
+  for (; j < cols; ++j) crow[j] += aik * brow[j];
+}
+
+}  // namespace
+
 Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
   NEURSC_CHECK(a.cols_ == b.rows_) << "matmul shape mismatch";
   Matrix c(a.rows_, b.cols_);
@@ -66,10 +89,7 @@ Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
     const float* arow = a.row(i);
     float* crow = c.row(i);
     for (size_t k = 0; k < a.cols_; ++k) {
-      float aik = arow[k];
-      if (aik == 0.0f) continue;
-      const float* brow = b.row(k);
-      for (size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+      AxpyRow(arow[k], b.row(k), crow, b.cols_);
     }
   }
   return c;
@@ -82,10 +102,7 @@ Matrix Matrix::MatMulTransposeA(const Matrix& a, const Matrix& b) {
     const float* arow = a.row(k);
     const float* brow = b.row(k);
     for (size_t i = 0; i < a.cols_; ++i) {
-      float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c.row(i);
-      for (size_t j = 0; j < b.cols_; ++j) crow[j] += aki * brow[j];
+      AxpyRow(arow[i], brow, c.row(i), b.cols_);
     }
   }
   return c;
@@ -94,13 +111,36 @@ Matrix Matrix::MatMulTransposeA(const Matrix& a, const Matrix& b) {
 Matrix Matrix::MatMulTransposeB(const Matrix& a, const Matrix& b) {
   NEURSC_CHECK(a.cols_ == b.cols_) << "matmul B^T shape mismatch";
   Matrix c(a.rows_, b.rows_);
+  const size_t cols = a.cols_;
   for (size_t i = 0; i < a.rows_; ++i) {
     const float* arow = a.row(i);
     float* crow = c.row(i);
-    for (size_t j = 0; j < b.rows_; ++j) {
+    // Four output dots at a time: arow stays in registers across the four
+    // b rows. Each dot keeps its own serial accumulation over k, so
+    // per-entry results match the rolled loop bit for bit.
+    size_t j = 0;
+    for (; j + 4 <= b.rows_; j += 4) {
+      const float* b0 = b.row(j);
+      const float* b1 = b.row(j + 1);
+      const float* b2 = b.row(j + 2);
+      const float* b3 = b.row(j + 3);
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (size_t k = 0; k < cols; ++k) {
+        float av = arow[k];
+        d0 += av * b0[k];
+        d1 += av * b1[k];
+        d2 += av * b2[k];
+        d3 += av * b3[k];
+      }
+      crow[j] = d0;
+      crow[j + 1] = d1;
+      crow[j + 2] = d2;
+      crow[j + 3] = d3;
+    }
+    for (; j < b.rows_; ++j) {
       const float* brow = b.row(j);
       float dot = 0.0f;
-      for (size_t k = 0; k < a.cols_; ++k) dot += arow[k] * brow[k];
+      for (size_t k = 0; k < cols; ++k) dot += arow[k] * brow[k];
       crow[j] = dot;
     }
   }

@@ -7,6 +7,23 @@
 
 namespace neursc {
 
+void GradientSink::Accumulate(Parameter* param, const Matrix& delta) {
+  auto it = buffers_.find(param);
+  if (it == buffers_.end()) {
+    it = buffers_
+             .emplace(param,
+                      Matrix(param->value.rows(), param->value.cols()))
+             .first;
+  }
+  it->second.AddInPlace(delta);
+}
+
+void GradientSink::ReduceIntoParameters() const {
+  for (const auto& [param, buffer] : buffers_) {
+    param->grad.AddInPlace(buffer);
+  }
+}
+
 Var Tape::MakeNode(Matrix value, bool requires_grad,
                    std::function<void(Tape*)> backward) {
   Node node;
@@ -642,7 +659,13 @@ void Tape::Backward(Var loss) {
     Node& node = nodes_[id];
     if (!node.requires_grad || node.grad.empty()) continue;
     if (node.backward) node.backward(this);
-    if (node.param != nullptr) node.param->grad.AddInPlace(node.grad);
+    if (node.param != nullptr) {
+      if (gradient_sink_ != nullptr) {
+        gradient_sink_->Accumulate(node.param, node.grad);
+      } else {
+        node.param->grad.AddInPlace(node.grad);
+      }
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/matrix.h"
@@ -29,6 +30,39 @@ struct Var {
   bool valid() const { return id >= 0; }
 };
 
+/// Tape-local buffer of leaf gradients. When installed on a Tape (see
+/// Tape::set_gradient_sink), Backward() accumulates each Leaf's gradient
+/// into the sink's per-parameter buffer instead of writing
+/// Parameter::grad directly. Backward passes on different threads can
+/// therefore share Parameters as long as each tape has its own sink; the
+/// buffers are then reduced into Parameter::grad serially, in a
+/// caller-chosen (e.g. example-index) order, which keeps the accumulated
+/// gradient bit-identical at every thread count.
+///
+/// A sink is confined to one thread while its tape runs Backward();
+/// ReduceIntoParameters() must be called serially (it mutates the shared
+/// Parameter::grad matrices).
+class GradientSink {
+ public:
+  /// Adds `delta` into the buffer for `param`, creating it zeroed on
+  /// first touch. Called by Tape::Backward; also usable directly in
+  /// tests.
+  void Accumulate(Parameter* param, const Matrix& delta);
+
+  /// Adds every buffered gradient into its Parameter::grad. Buffers for
+  /// distinct parameters are independent, so the map's iteration order
+  /// does not affect the result; what matters for determinism is the
+  /// order in which *sinks* are reduced, which the caller fixes.
+  void ReduceIntoParameters() const;
+
+  bool empty() const { return buffers_.empty(); }
+  size_t size() const { return buffers_.size(); }
+  void Clear() { buffers_.clear(); }
+
+ private:
+  std::unordered_map<Parameter*, Matrix> buffers_;
+};
+
 /// Eager reverse-mode automatic differentiation.
 ///
 /// Operations execute immediately and record a backward closure; calling
@@ -41,17 +75,22 @@ struct Var {
 ///
 /// Threading contract (docs/threading.md): a Tape is confined to one
 /// thread — it is not internally synchronized, and all its mutable state
-/// (the node list, per-node gradients, the backward flag) lives in the
-/// Tape instance; there are no global or thread-local caches anywhere in
-/// the nn layer. Independent tapes on different threads are therefore safe
-/// to run concurrently, *including* forward passes that share Parameters:
-/// Constant()/forward ops only read Parameter::value. The exceptions are
-/// Leaf() + Backward(), which accumulate into Parameter::grad without
-/// synchronization — gradient work for one Parameter set must stay on one
-/// thread at a time (training is serial today; inference tapes never call
-/// Backward). Mutating a shared Parameter (optimizer steps, weight
-/// clamping, LoadModel) while another thread runs a forward pass over it
-/// is a data race.
+/// (the node list, per-node gradients, the backward flag, the gradient
+/// sink pointer) lives in the Tape instance; there are no global or
+/// thread-local caches anywhere in the nn layer. Independent tapes on
+/// different threads are therefore safe to run concurrently, *including*
+/// forward passes that share Parameters: Constant()/forward ops only read
+/// Parameter::value. Backward() on a shared Parameter set is also safe
+/// across threads **when each tape has its own GradientSink installed**
+/// (set_gradient_sink): leaf gradients then land in the tape-local sink,
+/// and the sinks are reduced into Parameter::grad serially afterwards, in
+/// example-index order, so the result is bit-identical at every thread
+/// count — this is how data-parallel training works. Without a sink,
+/// Backward() accumulates into Parameter::grad directly and gradient work
+/// for one Parameter set must stay on one thread at a time (the serial
+/// critic updates use this mode). Mutating a shared Parameter (optimizer
+/// steps, weight clamping, LoadModel) while another thread runs a
+/// forward or backward pass over it is a data race.
 class Tape {
  public:
   Tape() = default;
@@ -123,8 +162,21 @@ class Tape {
   Var QErrorLoss(Var pred, double target, double eps = 1e-9);
 
   /// Runs reverse-mode accumulation from `loss` (must be 1x1) with seed 1.
-  /// May be called once per tape.
+  /// May be called once per tape. Leaf gradients go to Parameter::grad, or
+  /// to the installed gradient sink when one is set.
   void Backward(Var loss);
+
+  /// Installs a tape-local gradient sink: Backward() accumulates leaf
+  /// gradients into `sink` instead of Parameter::grad. Pass nullptr to
+  /// restore direct accumulation. The sink must outlive the Backward()
+  /// call. Must be set before Backward() runs to take effect.
+  void set_gradient_sink(GradientSink* sink) { gradient_sink_ = sink; }
+  GradientSink* gradient_sink() const { return gradient_sink_; }
+
+  /// Pre-sizes the node list. Training tapes have stable node counts per
+  /// query across epochs, so reserving the previous epoch's count removes
+  /// reallocation churn from the hot loop.
+  void ReserveNodes(size_t n) { nodes_.reserve(n); }
 
   /// Number of recorded nodes (diagnostics/tests).
   size_t NumNodes() const { return nodes_.size(); }
@@ -148,6 +200,7 @@ class Tape {
 
   std::vector<Node> nodes_;
   bool backward_done_ = false;
+  GradientSink* gradient_sink_ = nullptr;
 };
 
 }  // namespace neursc

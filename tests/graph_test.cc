@@ -99,6 +99,27 @@ TEST(GraphTest, AverageDegree) {
   EXPECT_DOUBLE_EQ(empty.AverageDegree(), 0.0);
 }
 
+TEST(GraphTest, FingerprintStableForEqualGraphs) {
+  Graph a = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph b = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  // Edge insertion order does not matter: CSR adjacency is sorted.
+  Graph c = MakeGraph({0, 1, 2}, {{0, 2}, {1, 2}, {0, 1}});
+  EXPECT_EQ(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST(GraphTest, FingerprintSeparatesDifferentGraphs) {
+  Graph triangle = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph path = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  Graph relabeled = MakeGraph({0, 0, 1}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_NE(triangle.Fingerprint(), path.Fingerprint());
+  EXPECT_NE(triangle.Fingerprint(), relabeled.Fingerprint());
+  // Size is mixed in before the arrays, so degenerate graphs separate too.
+  Graph empty = MakeGraph({}, {});
+  Graph lone = MakeGraph({0}, {});
+  EXPECT_NE(empty.Fingerprint(), lone.Fingerprint());
+}
+
 TEST(InducedSubgraphTest, KeepsEdgesAndLabels) {
   // Path 0-1-2-3 with a chord 0-2.
   Graph g = MakeGraph({5, 6, 7, 8}, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});

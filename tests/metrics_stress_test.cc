@@ -84,8 +84,9 @@ TEST(MetricsStressTest, TracedSpansAcrossManyShortLivedThreads) {
   TraceRecorder::Global().Stop();
   TraceRecorder::Global().Clear();
   TraceRecorder::Global().Start();
-  // ParallelFor spawns fresh threads per invocation, so repeated calls
-  // exercise the buffer/stripe lease-and-recycle paths.
+  // ParallelFor runs on the persistent worker pool: repeated regions are
+  // served by the same long-lived workers, so this exercises the
+  // buffer/stripe paths under sustained reuse rather than thread churn.
   constexpr int kRounds = 20;
   constexpr size_t kTasks = 64;
   for (int round = 0; round < kRounds; ++round) {

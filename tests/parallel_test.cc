@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -103,6 +104,46 @@ TEST(ParallelForTest, SurvivesExceptionAndRemainsUsable) {
   std::vector<std::atomic<int>> visits(50);
   ParallelFor(50, [&](size_t i) { visits[i].fetch_add(1); }, 4);
   for (size_t i = 0; i < 50; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(WorkerPoolTest, PoolPersistsAcrossInvocations) {
+  // Warm the pool, then check that repeated regions neither shrink nor
+  // regrow it: the helpers stay parked between calls.
+  ParallelFor(64, [](size_t) {}, 4);
+  size_t after_first = WorkerPoolThreadCount();
+  EXPECT_GE(after_first, 3u);  // 4 requested threads = caller + 3 helpers
+  for (int round = 0; round < 5; ++round) {
+    ParallelFor(64, [](size_t) {}, 4);
+    EXPECT_EQ(WorkerPoolThreadCount(), after_first) << "round=" << round;
+  }
+}
+
+TEST(WorkerPoolTest, PoolGrowsToLargestRequest) {
+  ParallelFor(32, [](size_t) {}, 2);
+  size_t small = WorkerPoolThreadCount();
+  ParallelFor(32, [](size_t) {}, 6);
+  size_t large = WorkerPoolThreadCount();
+  EXPECT_GE(large, 5u);
+  EXPECT_GE(large, small);
+  // Shrinking requests keep the grown pool (idle helpers just sleep).
+  ParallelFor(32, [](size_t) {}, 2);
+  EXPECT_EQ(WorkerPoolThreadCount(), large);
+}
+
+TEST(WorkerPoolTest, ConcurrentCallersBothComplete) {
+  // Two caller threads contend for the pool; regions serialize on the
+  // region mutex but both must finish with every index visited once.
+  const size_t n = 5000;
+  std::vector<std::atomic<int>> a(n);
+  std::vector<std::atomic<int>> b(n);
+  std::thread t1([&] { ParallelFor(n, [&](size_t i) { a[i].fetch_add(1); }, 4); });
+  std::thread t2([&] { ParallelFor(n, [&](size_t i) { b[i].fetch_add(1); }, 4); });
+  t1.join();
+  t2.join();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a[i].load(), 1);
+    EXPECT_EQ(b[i].load(), 1);
+  }
 }
 
 TEST(ParallelForTest, NestedParallelForRunsInline) {

@@ -38,6 +38,67 @@ TEST(TapeTest, LeafAccumulatesIntoParameter) {
   EXPECT_FLOAT_EQ(p.grad.scalar(), 3.0f);
 }
 
+TEST(TapeTest, GradientSinkMatchesDirectAccumulation) {
+  // The same graph run twice: once writing Parameter::grad directly, once
+  // through a GradientSink that is reduced afterwards. The results must be
+  // bit-identical — this equivalence is what lets training route parallel
+  // backward passes through per-tape sinks.
+  Parameter a = RandomParam(3, 4, 61);
+  Parameter b = RandomParam(4, 2, 62);
+  auto build = [&](Tape* tape) {
+    Var x = tape->Leaf(&a);
+    Var y = tape->Leaf(&b);
+    // Reuse x so one parameter accumulates more than once within the tape.
+    Var z = tape->MatMul(tape->Add(x, x), y);
+    return tape->ReduceSum(z);
+  };
+  {
+    Tape tape;
+    tape.Backward(build(&tape));
+  }
+  Matrix direct_a = a.grad;
+  Matrix direct_b = b.grad;
+  a.grad.ScaleInPlace(0.0f);
+  b.grad.ScaleInPlace(0.0f);
+  {
+    Tape tape;
+    GradientSink sink;
+    tape.set_gradient_sink(&sink);
+    EXPECT_TRUE(sink.empty());
+    tape.Backward(build(&tape));
+    EXPECT_EQ(sink.size(), 2u);
+    // Grads stay buffered until the reduction.
+    EXPECT_FLOAT_EQ(a.grad.Norm(), 0.0f);
+    sink.ReduceIntoParameters();
+  }
+  EXPECT_EQ(Matrix::MaxAbsDiff(a.grad, direct_a), 0.0f);
+  EXPECT_EQ(Matrix::MaxAbsDiff(b.grad, direct_b), 0.0f);
+}
+
+TEST(TapeTest, GradientSinkClearAndReuse) {
+  Parameter p(Matrix::Scalar(2.0f));
+  GradientSink sink;
+  Tape tape;
+  tape.set_gradient_sink(&sink);
+  Var y = tape.Scale(tape.Leaf(&p), 3.0f);
+  tape.Backward(y);
+  sink.Clear();
+  EXPECT_TRUE(sink.empty());
+  sink.ReduceIntoParameters();  // no-op after Clear
+  EXPECT_FLOAT_EQ(p.grad.scalar(), 0.0f);
+}
+
+TEST(TapeTest, ReserveNodesDoesNotAffectResults) {
+  Parameter p(Matrix::Scalar(3.0f));
+  Tape tape;
+  tape.ReserveNodes(64);
+  Var x = tape.Leaf(&p);
+  Var y = tape.Add(tape.Mul(x, x), x);
+  tape.Backward(y);
+  EXPECT_FLOAT_EQ(p.grad.scalar(), 7.0f);
+  EXPECT_GE(tape.NumNodes(), 3u);
+}
+
 TEST(TapeTest, BackwardThroughSharedSubexpression) {
   // y = x*x + x  => dy/dx = 2x + 1.
   Parameter p(Matrix::Scalar(3.0f));
