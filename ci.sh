@@ -6,12 +6,21 @@
 #      candidate_filter_parallel_test, and train_parallel_test).
 #   2. ThreadSanitizer build of the concurrency-sensitive pieces, running
 #      every test labeled `concurrency` (ctest -L concurrency): ParallelFor
-#      and the worker pool, the observability stress tests, and the
-#      differential suites, with NEURSC_THREADS=8 to force real contention.
-#   3. Training-throughput smoke: bench_table4_training_time on a tiny
+#      and the worker pool, the observability stress tests, the
+#      differential suites, and the pooled EvalContext workspaces, with
+#      NEURSC_THREADS=8 to force real contention.
+#   3. Inference-path differential: the Tape-vs-EvalContext suite
+#      (eval_context_test) and the checkpoint round-trip suite
+#      (serialize_test) re-run explicitly under both the Release and TSan
+#      builds — the bit-identity contract of docs/execution.md.
+#   4. Training-throughput smoke: bench_table4_training_time on a tiny
 #      dataset sweeps NEURSC_THREADS {1,2,8} over full training runs and
 #      exits non-zero unless every parallel run reproduces the serial
 #      final weights and loss curves bit for bit.
+#   5. Forward-engine smoke: bench_micro_forward gates Tape/EvalContext
+#      bit agreement, zero steady-state arena growth (any eval/arena_grows
+#      regression fails the run), and reduced per-pass allocations over
+#      the Table-4 model sizes. Wall clock is reported, never gated.
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -20,26 +29,39 @@ cd "$(dirname "$0")"
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/3] Release build + tests ==="
+echo "=== [1/5] Release build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 echo
-echo "=== [2/3] TSan build + concurrency tests (ctest -L concurrency) ==="
+echo "=== [2/5] TSan build + concurrency tests (ctest -L concurrency) ==="
 cmake -B build-tsan -S . -DNEURSC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   parallel_test metrics_stress_test metrics_registry_test trace_test \
   estimate_parallel_test candidate_filter_parallel_test \
-  train_parallel_test pipeline_stress_test
+  train_parallel_test pipeline_stress_test eval_context_test
 NEURSC_THREADS=8 ctest --test-dir build-tsan -L concurrency \
   --output-on-failure
 
 echo
-echo "=== [3/3] Training-throughput smoke (NEURSC_THREADS sweep) ==="
+echo "=== [3/5] Inference-path differential (Release + TSan) ==="
+cmake --build build-tsan -j "$JOBS" --target serialize_test
+ctest --test-dir build -R 'eval_context_test|serialize_test' \
+  --output-on-failure
+NEURSC_THREADS=8 ctest --test-dir build-tsan \
+  -R 'eval_context_test|serialize_test' --output-on-failure
+
+echo
+echo "=== [4/5] Training-throughput smoke (NEURSC_THREADS sweep) ==="
 cmake --build build -j "$JOBS" --target bench_table4_training_time
 NEURSC_SCALE=0.25 NEURSC_EPOCHS=4 NEURSC_QUERIES=8 \
   ./build/bench/bench_table4_training_time
+
+echo
+echo "=== [5/5] Forward-engine smoke (agreement + allocation gates) ==="
+cmake --build build -j "$JOBS" --target bench_micro_forward
+NEURSC_PASSES=10 ./build/bench/bench_micro_forward
 
 echo
 echo "ci.sh: all green"

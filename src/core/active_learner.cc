@@ -41,10 +41,36 @@ Result<std::vector<TrainingExample>> ActiveLearner::Run(
       hooks_.reset(options_.seed + 1000 * round + member);
       NEURSC_RETURN_IF_ERROR(hooks_.train(labeled));
       member_predictions[member].assign(unlabeled_pool.size(), -1.0);
-      for (size_t i = 0; i < unlabeled_pool.size(); ++i) {
-        if (taken[i]) continue;
-        auto est = hooks_.estimate(unlabeled_pool[i]);
-        if (est.ok()) member_predictions[member][i] = *est;
+      // Prefer the batch hook: one call covers the whole remaining pool
+      // (NeurSC schedules every query's substructures into one shared
+      // work pool). A failed batch falls back to the per-query loop —
+      // NeurSC's EstimateBatch returns prepare-phase errors before
+      // consuming any estimator randomness, so the fallback sees the
+      // same RNG state sequential estimates always did.
+      bool scored = false;
+      if (hooks_.estimate_batch) {
+        std::vector<size_t> open_indices;
+        std::vector<Graph> open_queries;
+        for (size_t i = 0; i < unlabeled_pool.size(); ++i) {
+          if (taken[i]) continue;
+          open_indices.push_back(i);
+          open_queries.push_back(unlabeled_pool[i]);
+        }
+        auto batch = hooks_.estimate_batch(open_queries);
+        if (batch.ok()) {
+          NEURSC_CHECK(batch->size() == open_indices.size());
+          for (size_t k = 0; k < open_indices.size(); ++k) {
+            member_predictions[member][open_indices[k]] = (*batch)[k];
+          }
+          scored = true;
+        }
+      }
+      if (!scored) {
+        for (size_t i = 0; i < unlabeled_pool.size(); ++i) {
+          if (taken[i]) continue;
+          auto est = hooks_.estimate(unlabeled_pool[i]);
+          if (est.ok()) member_predictions[member][i] = *est;
+        }
       }
     }
 
@@ -118,6 +144,15 @@ ActiveLearner::ModelHooks MakeNeurSCHooks(
     auto info = (*slot)->Estimate(query);
     if (!info.ok()) return info.status();
     return info->count;
+  };
+  hooks.estimate_batch =
+      [slot](const std::vector<Graph>& queries) -> Result<std::vector<double>> {
+    auto infos = (*slot)->EstimateBatch(queries);
+    if (!infos.ok()) return infos.status();
+    std::vector<double> counts;
+    counts.reserve(infos->size());
+    for (const EstimateInfo& info : *infos) counts.push_back(info.count);
+    return counts;
   };
   return hooks;
 }

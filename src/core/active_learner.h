@@ -48,6 +48,15 @@ class ActiveLearner {
     std::function<Status(const std::vector<TrainingExample>&)> train;
     /// Predicts a count.
     std::function<Result<double>(const Graph&)> estimate;
+    /// Optional batch prediction: counts for all queries at once, in input
+    /// order. When set, the learner scores each round's remaining pool
+    /// through one call (NeurSC's EstimateBatch shares a single inference
+    /// work pool across the queries' substructures); on error it falls
+    /// back to the per-query `estimate` loop. Must behave exactly like
+    /// sequential `estimate` calls (NeurSC's EstimateBatch guarantees
+    /// bit-identical results).
+    std::function<Result<std::vector<double>>(const std::vector<Graph>&)>
+        estimate_batch;
   };
 
   /// `data` is the data graph the counts refer to; hooks are invoked on a

@@ -102,8 +102,9 @@ void NeurSCEstimator::UpdateCritic(
   }
 }
 
+template <typename Ctx>
 Var NeurSCEstimator::BuildQueryLoss(
-    Tape* tape, const Graph& query, const Prepared& prep, double target_count,
+    Ctx* ctx, const Graph& query, const Prepared& prep, double target_count,
     bool adversarial, Rng* rng,
     std::vector<CriticUpdateInput>* critic_inputs) {
   const auto& subs = prep.extraction.substructures;
@@ -112,10 +113,10 @@ Var NeurSCEstimator::BuildQueryLoss(
   Var total_prediction{};
   std::vector<Var> wasserstein_terms;
   for (size_t j = 0; j < subs.size(); ++j) {
-    auto fw = model_->Forward(tape, query, subs[j], prep.query_features,
+    auto fw = model_->Forward(ctx, query, subs[j], prep.query_features,
                               prep.sub_features[j], rng);
     total_prediction = total_prediction.valid()
-                           ? tape->Add(total_prediction, fw.prediction)
+                           ? ctx->Add(total_prediction, fw.prediction)
                            : fw.prediction;
     if (adversarial && config_.use_discriminator) {
       if (config_.metric == DistanceMetric::kWasserstein) {
@@ -125,33 +126,33 @@ Var NeurSCEstimator::BuildQueryLoss(
         // detached representations captured for the caller below.
         if (critic_inputs != nullptr) {
           critic_inputs->push_back(CriticUpdateInput{
-              j, tape->Value(fw.query_repr), tape->Value(fw.sub_repr)});
+              j, ctx->Value(fw.query_repr), ctx->Value(fw.sub_repr)});
         }
-        Var sq = critic_->Score(tape, fw.query_repr);
-        Var ss = critic_->Score(tape, fw.sub_repr);
+        Var sq = critic_->Score(ctx, fw.query_repr);
+        Var ss = critic_->Score(ctx, fw.sub_repr);
         Correspondence pairs = SelectCorrespondenceByScores(
-            tape->Value(sq), tape->Value(ss), subs[j].local_candidates);
+            ctx->Value(sq), ctx->Value(ss), subs[j].local_candidates);
         if (pairs.size() > 0) {
           wasserstein_terms.push_back(
-              WassersteinLoss(tape, sq, ss, pairs));
+              WassersteinLoss(ctx, sq, ss, pairs));
         }
       } else {
         Correspondence pairs = SelectCorrespondenceByDistance(
-            tape->Value(fw.query_repr), tape->Value(fw.sub_repr),
+            ctx->Value(fw.query_repr), ctx->Value(fw.sub_repr),
             subs[j].local_candidates, config_.metric);
         if (pairs.size() > 0) {
           wasserstein_terms.push_back(PairDistanceLoss(
-              tape, fw.query_repr, fw.sub_repr, pairs, config_.metric));
+              ctx, fw.query_repr, fw.sub_repr, pairs, config_.metric));
         }
       }
     }
   }
 
-  Var loss = tape->QErrorLoss(total_prediction, target_count);
+  Var loss = ctx->QErrorLoss(total_prediction, target_count);
   if (!wasserstein_terms.empty()) {
     Var lw_sum = wasserstein_terms[0];
     for (size_t i = 1; i < wasserstein_terms.size(); ++i) {
-      lw_sum = tape->Add(lw_sum, wasserstein_terms[i]);
+      lw_sum = ctx->Add(lw_sum, wasserstein_terms[i]);
     }
     // Eq. 11 with the estimator *minimizing* the Wasserstein distance
     // estimate (the generator side of the WGAN game): the L_w term enters
@@ -159,8 +160,8 @@ Var NeurSCEstimator::BuildQueryLoss(
     // query/data representations together.
     float w = static_cast<float>(config_.beta /
                                  static_cast<double>(subs.size()));
-    loss = tape->Add(tape->Scale(loss, 1.0f - static_cast<float>(config_.beta)),
-                     tape->Scale(lw_sum, w));
+    loss = ctx->Add(ctx->Scale(loss, 1.0f - static_cast<float>(config_.beta)),
+                    ctx->Scale(lw_sum, w));
   }
   return loss;
 }
@@ -248,22 +249,34 @@ Result<TrainStats> NeurSCEstimator::Train(
     // Forward-only, parameters frozen: the held-out losses are
     // independent. Seeds are drawn serially in validation order and the
     // reduction sums in that same order, so the q-error is bit-identical
-    // at every thread count.
+    // at every thread count. Runs on the configured inference backend —
+    // pooled EvalContexts by default (no backward closures, reused
+    // arenas), or per-task Tapes when the Tape backend is forced.
     std::vector<uint64_t> seeds = DrawTaskSeeds(validation.size());
     std::vector<double> losses(validation.size(), 0.0);
     std::vector<uint8_t> valid(validation.size(), 0);
     ParallelFor(validation.size(), [&](size_t k) {
       size_t idx = validation[k];
-      Tape tape;
-      tape.ReserveNodes(tape_node_hint[idx]);
       Rng rng(seeds[k]);
-      Var loss = BuildQueryLoss(&tape, usable[idx]->query, *prepared[idx],
-                                usable[idx]->count, /*adversarial=*/false,
-                                &rng, nullptr);
+      if (config_.inference_backend == ExecutionBackend::kTape) {
+        Tape tape;
+        tape.ReserveNodes(tape_node_hint[idx]);
+        Var loss = BuildQueryLoss(&tape, usable[idx]->query, *prepared[idx],
+                                  usable[idx]->count, /*adversarial=*/false,
+                                  &rng, nullptr);
+        if (!loss.valid()) return;
+        losses[k] = tape.Value(loss).scalar();
+        valid[k] = 1;
+        tape_node_hint[idx] = tape.NumNodes();
+        return;
+      }
+      auto ctx = eval_pool_.Acquire();
+      Var loss = BuildQueryLoss(ctx.get(), usable[idx]->query,
+                                *prepared[idx], usable[idx]->count,
+                                /*adversarial=*/false, &rng, nullptr);
       if (!loss.valid()) return;
-      losses[k] = tape.Value(loss).scalar();
+      losses[k] = ctx->Value(loss).scalar();
       valid[k] = 1;
-      tape_node_hint[idx] = tape.NumNodes();
     });
     double total = 0.0;
     size_t n = 0;
@@ -457,13 +470,25 @@ void NeurSCEstimator::RunInferenceTasks(
     InferenceTask& task = (*tasks)[i];
     NEURSC_SPAN(substructure_span, "estimate/substructure");
     auto start = std::chrono::steady_clock::now();
-    // One tape and one RNG per task: nothing the forward pass mutates is
-    // shared across workers (see docs/threading.md).
-    Tape tape;
+    // One execution context and one RNG per task: nothing the forward pass
+    // mutates is shared across workers (see docs/threading.md). The
+    // default backend leases a pooled EvalContext, whose warmed-up arena
+    // makes the pass allocation-free in steady state; the Tape backend
+    // stays available for differential testing.
     Rng rng(task.seed);
-    auto fw = model_->Forward(&tape, *task.query, *task.sub,
-                              *task.query_features, *task.sub_features, &rng);
-    task.prediction = tape.Value(fw.prediction).scalar();
+    if (config_.inference_backend == ExecutionBackend::kTape) {
+      Tape tape;
+      auto fw =
+          model_->Forward(&tape, *task.query, *task.sub, *task.query_features,
+                          *task.sub_features, &rng);
+      task.prediction = tape.Value(fw.prediction).scalar();
+    } else {
+      auto ctx = eval_pool_.Acquire();
+      auto fw = model_->Forward(ctx.get(), *task.query, *task.sub,
+                                *task.query_features, *task.sub_features,
+                                &rng);
+      task.prediction = ctx->Value(fw.prediction).scalar();
+    }
     auto end = std::chrono::steady_clock::now();
     task.start_seconds = std::chrono::duration<double>(start - epoch).count();
     task.end_seconds = std::chrono::duration<double>(end - epoch).count();

@@ -18,6 +18,7 @@
 #include "graph/graph.h"
 #include "matching/candidate_filter.h"
 #include "matching/substructure.h"
+#include "nn/eval.h"
 #include "nn/optimizer.h"
 
 namespace neursc {
@@ -62,6 +63,15 @@ struct NeurSCConfig {
   DistanceMetric metric = DistanceMetric::kWasserstein;
   /// Substructure sample rate r_s at inference time (Sec. 5.8).
   double sample_rate = 1.0;
+
+  /// Execution engine for forward-only call sites (Estimate,
+  /// EstimateOnSubstructures, EstimateBatch, the validation loop). The
+  /// default tape-free EvalContext records no backward closures and reuses
+  /// a per-context arena, so steady-state inference allocates nothing; the
+  /// Tape backend remains selectable for differential testing (see
+  /// NeurSCAdapter::TapeForced and docs/execution.md). Both produce
+  /// bit-identical estimates. Training always uses the Tape.
+  ExecutionBackend inference_backend = ExecutionBackend::kEvalContext;
 
   uint64_t seed = 99;
 };
@@ -115,8 +125,12 @@ class PreparedQueryCache;
 /// Estimate/EstimateOnSubstructures/EstimateBatch and Train.
 ///
 /// Inference: per-substructure WEst forward passes each run on their own
-/// Tape with a private Rng, and the per-substructure counts are reduced in
-/// index order.
+/// execution context with a private Rng, and the per-substructure counts
+/// are reduced in index order. On the default EvalContext backend the
+/// contexts come from a per-estimator pool (eval_pool_), so their warmed-up
+/// arenas are reused across queries and steady-state inference performs no
+/// heap allocation; each task holds an exclusive lease for the duration of
+/// its forward pass.
 ///
 /// Training: within a batch the parameters are frozen, so the per-example
 /// forward+backward passes run over ParallelFor, each on its own Tape with
@@ -240,13 +254,16 @@ class NeurSCEstimator {
   /// detached representations.
   void UpdateCritic(const Matrix& query_repr, const Matrix& sub_repr,
                     const std::vector<std::vector<VertexId>>& candidates);
-  /// Forward + loss for one query on `tape`; returns the loss Var, or an
-  /// invalid Var when the query has no usable substructures. `rng` drives
-  /// the bipartite linking edges; callers in parallel regions pass a
-  /// task-private Rng seeded serially. The critic (when scored) is read
-  /// frozen; if `critic_inputs` is non-null, the detached representations
-  /// needed for its later serial updates are appended there.
-  Var BuildQueryLoss(Tape* tape, const Graph& query, const Prepared& prep,
+  /// Forward + loss for one query on `ctx` (Tape when gradients are
+  /// needed, EvalContext for the forward-only validation loop); returns
+  /// the loss Var, or an invalid Var when the query has no usable
+  /// substructures. `rng` drives the bipartite linking edges; callers in
+  /// parallel regions pass a task-private Rng seeded serially. The critic
+  /// (when scored) is read frozen; if `critic_inputs` is non-null, the
+  /// detached representations needed for its later serial updates are
+  /// appended there.
+  template <typename Ctx>
+  Var BuildQueryLoss(Ctx* ctx, const Graph& query, const Prepared& prep,
                      double target_count, bool adversarial, Rng* rng,
                      std::vector<CriticUpdateInput>* critic_inputs);
 
@@ -257,6 +274,9 @@ class NeurSCEstimator {
   std::unique_ptr<Discriminator> critic_;
   std::unique_ptr<AdamOptimizer> opt_theta_;
   std::unique_ptr<AdamOptimizer> opt_omega_;
+  /// Reusable forward-only workspaces for the EvalContext backend; grows to
+  /// peak inference concurrency and keeps the warmed-up arenas thereafter.
+  EvalContextPool eval_pool_;
   Rng rng_;
 };
 

@@ -1,0 +1,260 @@
+#include "nn/eval.h"
+
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "nn/kernels.h"
+
+namespace neursc {
+
+void EvalContext::Reset() {
+  nodes_.clear();
+  slots_used_ = 0;
+  NEURSC_GAUGE_SET("eval/arena_bytes", static_cast<double>(arena_bytes()));
+}
+
+size_t EvalContext::arena_bytes() const {
+  size_t bytes = 0;
+  for (const Matrix& m : slots_) bytes += m.capacity() * sizeof(float);
+  return bytes;
+}
+
+Matrix* EvalContext::AllocSlot(size_t rows, size_t cols) {
+  bool grew = false;
+  if (slots_used_ == slots_.size()) {
+    slots_.emplace_back();
+    grew = true;
+  }
+  Matrix& m = slots_[slots_used_++];
+  if (m.capacity() < rows * cols) grew = true;
+  m.Reshape(rows, cols);
+  if (grew) {
+    ++arena_grows_;
+    NEURSC_COUNTER_INC("eval/arena_grows");
+  }
+  return &m;
+}
+
+Var EvalContext::PushNode(const Matrix* value) {
+  nodes_.push_back(value);
+  return Var{static_cast<int>(nodes_.size()) - 1};
+}
+
+Var EvalContext::Constant(const Matrix& value) {
+  Matrix* out = AllocSlot(value.rows(), value.cols());
+  fwd::Copy(value, out);
+  return PushNode(out);
+}
+
+Var EvalContext::Leaf(Parameter* param) {
+  NEURSC_CHECK(param != nullptr);
+  return PushNode(&param->value);
+}
+
+Var EvalContext::MatMul(Var a, Var b) {
+  const Matrix& av = Value(a);
+  const Matrix& bv = Value(b);
+  Matrix* out = AllocSlot(av.rows(), bv.cols());
+  Matrix::MatMulInto(av, bv, out);
+  return PushNode(out);
+}
+
+Var EvalContext::Add(Var a, Var b) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Add(av, Value(b), out);
+  return PushNode(out);
+}
+
+Var EvalContext::AddRowBroadcast(Var x, Var bias) {
+  const Matrix& xv = Value(x);
+  Matrix* out = AllocSlot(xv.rows(), xv.cols());
+  fwd::AddRowBroadcast(xv, Value(bias), out);
+  return PushNode(out);
+}
+
+Var EvalContext::Sub(Var a, Var b) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Sub(av, Value(b), out);
+  return PushNode(out);
+}
+
+Var EvalContext::Mul(Var a, Var b) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Mul(av, Value(b), out);
+  return PushNode(out);
+}
+
+Var EvalContext::Scale(Var a, float s) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Scale(av, s, out);
+  return PushNode(out);
+}
+
+Var EvalContext::Relu(Var a) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Relu(av, out);
+  return PushNode(out);
+}
+
+Var EvalContext::LeakyRelu(Var a, float negative_slope) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::LeakyRelu(av, negative_slope, out);
+  return PushNode(out);
+}
+
+Var EvalContext::Sigmoid(Var a) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Sigmoid(av, out);
+  return PushNode(out);
+}
+
+Var EvalContext::Tanh(Var a) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Tanh(av, out);
+  return PushNode(out);
+}
+
+Var EvalContext::Exp(Var a) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Exp(av, out);
+  return PushNode(out);
+}
+
+Var EvalContext::Log(Var a) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::Log(av, out);
+  return PushNode(out);
+}
+
+Var EvalContext::RowSoftmax(Var a) {
+  const Matrix& av = Value(a);
+  Matrix* out = AllocSlot(av.rows(), av.cols());
+  fwd::RowSoftmax(av, out);
+  return PushNode(out);
+}
+
+Var EvalContext::ConcatCols(Var a, Var b) {
+  const Matrix& av = Value(a);
+  const Matrix& bv = Value(b);
+  Matrix* out = AllocSlot(av.rows(), av.cols() + bv.cols());
+  fwd::ConcatCols(av, bv, out);
+  return PushNode(out);
+}
+
+Var EvalContext::ConcatRows(const std::vector<Var>& parts) {
+  NEURSC_CHECK(!parts.empty());
+  size_t total_rows = 0;
+  const size_t cols = Value(parts[0]).cols();
+  std::vector<const Matrix*> values;
+  values.reserve(parts.size());
+  for (Var p : parts) {
+    values.push_back(&Value(p));
+    total_rows += values.back()->rows();
+  }
+  Matrix* out = AllocSlot(total_rows, cols);
+  fwd::ConcatRows(values, out);
+  return PushNode(out);
+}
+
+Var EvalContext::GatherRows(Var x, const std::vector<uint32_t>& rows) {
+  const Matrix& xv = Value(x);
+  Matrix* out = AllocSlot(rows.size(), xv.cols());
+  fwd::GatherRows(xv, rows, out);
+  return PushNode(out);
+}
+
+Var EvalContext::ScatterAddRows(Var x, const std::vector<uint32_t>& targets,
+                                size_t num_rows) {
+  const Matrix& xv = Value(x);
+  Matrix* out = AllocSlot(num_rows, xv.cols());
+  fwd::ScatterAddRows(xv, targets, out);
+  return PushNode(out);
+}
+
+Var EvalContext::SegmentSoftmax(Var logits,
+                                const std::vector<uint32_t>& segments,
+                                size_t num_segments) {
+  const Matrix& xv = Value(logits);
+  Matrix* out = AllocSlot(xv.rows(), 1);
+  fwd::SegmentSoftmax(xv, segments, num_segments, out, &seg_max_, &seg_sum_);
+  return PushNode(out);
+}
+
+Var EvalContext::ColBroadcastMul(Var x, Var w) {
+  const Matrix& xv = Value(x);
+  Matrix* out = AllocSlot(xv.rows(), xv.cols());
+  fwd::ColBroadcastMul(xv, Value(w), out);
+  return PushNode(out);
+}
+
+Var EvalContext::SumRows(Var x) {
+  const Matrix& xv = Value(x);
+  Matrix* out = AllocSlot(1, xv.cols());
+  fwd::SumRows(xv, out);
+  return PushNode(out);
+}
+
+Var EvalContext::MeanRows(Var x) {
+  size_t n = Value(x).rows();
+  Var s = SumRows(x);
+  return n > 0 ? Scale(s, 1.0f / static_cast<float>(n)) : s;
+}
+
+Var EvalContext::ReduceSum(Var x) {
+  const Matrix& xv = Value(x);
+  Matrix* out = AllocSlot(1, 1);
+  fwd::ReduceSum(xv, out);
+  return PushNode(out);
+}
+
+Var EvalContext::QErrorLoss(Var pred, double target, double eps) {
+  const Matrix& pv = Value(pred);
+  NEURSC_CHECK(pv.rows() == 1 && pv.cols() == 1);
+  fwd::QErrorParts parts = fwd::QError(pv.at(0, 0), target, eps);
+  Matrix* out = AllocSlot(1, 1);
+  out->at(0, 0) = parts.loss;
+  return PushNode(out);
+}
+
+EvalContextPool::Lease EvalContextPool::Acquire() {
+  std::unique_ptr<EvalContext> ctx;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      ctx = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ctx = std::make_unique<EvalContext>();
+      ++created_;
+      NEURSC_GAUGE_SET("eval/pool_contexts", static_cast<double>(created_));
+    }
+  }
+  ctx->Reset();
+  return Lease(this, std::move(ctx));
+}
+
+void EvalContextPool::Release(std::unique_ptr<EvalContext> ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ctx));
+}
+
+size_t EvalContextPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+size_t EvalContextPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+}  // namespace neursc

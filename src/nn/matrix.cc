@@ -82,17 +82,22 @@ inline void AxpyRow(float aik, const float* brow, float* crow, size_t cols) {
 }  // namespace
 
 Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
-  NEURSC_CHECK(a.cols_ == b.rows_) << "matmul shape mismatch";
   Matrix c(a.rows_, b.cols_);
+  MatMulInto(a, b, &c);
+  return c;
+}
+
+void Matrix::MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  NEURSC_CHECK(a.cols_ == b.rows_) << "matmul shape mismatch";
+  NEURSC_CHECK(c->rows_ == a.rows_ && c->cols_ == b.cols_);
   // i-k-j loop order: streams over b and c rows, cache friendly.
   for (size_t i = 0; i < a.rows_; ++i) {
     const float* arow = a.row(i);
-    float* crow = c.row(i);
+    float* crow = c->row(i);
     for (size_t k = 0; k < a.cols_; ++k) {
       AxpyRow(arow[k], b.row(k), crow, b.cols_);
     }
   }
-  return c;
 }
 
 Matrix Matrix::MatMulTransposeA(const Matrix& a, const Matrix& b) {

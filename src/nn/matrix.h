@@ -40,6 +40,19 @@ class Matrix {
   size_t cols() const { return cols_; }
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+  /// Allocated float capacity (>= size()). Exposed for the EvalContext
+  /// arena accounting: Reshape() only touches the heap when the new size
+  /// exceeds this.
+  size_t capacity() const { return data_.capacity(); }
+
+  /// Repurposes this matrix as a zero-filled (rows x cols) buffer, reusing
+  /// the existing allocation whenever its capacity suffices. The workspace
+  /// primitive behind EvalContext slot reuse.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
 
   float& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
   float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
@@ -64,6 +77,10 @@ class Matrix {
 
   /// C = A * B. Shapes must agree ([m,k] x [k,n]).
   static Matrix MatMul(const Matrix& a, const Matrix& b);
+  /// C += A * B into a caller-owned, pre-shaped, zero-filled `c`
+  /// ([m,n]). MatMul() is a thin wrapper; both share one kernel, so the
+  /// allocating and workspace-reusing paths are bit-identical.
+  static void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
   /// C = A^T * B ([k,m]^T x [k,n] -> [m,n]).
   static Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
   /// C = A * B^T ([m,k] x [n,k]^T -> [m,n]).

@@ -1,18 +1,38 @@
 #include "nn/serialize.h"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
-#include <limits>
+#include <string>
 
 namespace neursc {
+
+namespace {
+
+/// Shortest exact hexfloat of v ("%a"), e.g. "0x1.5p-3". Round-trips
+/// bit-for-bit through strtof: the float widens to double losslessly, the
+/// hex digits encode that double exactly, and narrowing back cannot round.
+std::string ExactFloatToken(float v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", static_cast<double>(v));
+  return buf;
+}
+
+}  // namespace
 
 Status SaveParameters(const std::vector<Parameter*>& params,
                       std::ostream& out) {
   out << "neursc-params v1 " << params.size() << "\n";
-  out.precision(std::numeric_limits<float>::max_digits10);
   for (const Parameter* p : params) {
     out << "param " << p->value.rows() << " " << p->value.cols() << "\n";
     for (size_t i = 0; i < p->value.size(); ++i) {
-      out << p->value.data()[i] << (i + 1 == p->value.size() ? "\n" : " ");
+      float v = p->value.data()[i];
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "refusing to save non-finite parameter value");
+      }
+      out << ExactFloatToken(v) << (i + 1 == p->value.size() ? "\n" : " ");
     }
     if (p->value.size() == 0) out << "\n";
   }
@@ -51,10 +71,26 @@ Status LoadParameters(const std::vector<Parameter*>& params,
     if (rows != p->value.rows() || cols != p->value.cols()) {
       return Status::InvalidArgument("parameter shape mismatch");
     }
+    // Token-wise strtof parse: reads both the hexfloat format written by
+    // SaveParameters and legacy decimal checkpoints. strtof accepts
+    // "inf"/"nan" spellings and saturates out-of-range decimals to
+    // infinity, so the finite check below is what actually enforces the
+    // no-NaN/Inf contract on every input.
+    std::string token;
     for (size_t i = 0; i < p->value.size(); ++i) {
-      if (!(in >> p->value.data()[i])) {
+      if (!(in >> token)) {
         return Status::IOError("truncated parameter data");
       }
+      char* end = nullptr;
+      float v = std::strtof(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') {
+        return Status::IOError("malformed parameter value '" + token + "'");
+      }
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "non-finite parameter value '" + token + "' in checkpoint");
+      }
+      p->value.data()[i] = v;
     }
   }
   return Status::OK();

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "nn/tape.h"
+#include "nn/param.h"
 
 namespace neursc {
 
@@ -16,6 +16,13 @@ namespace neursc {
 ///   param <rows> <cols>
 ///   <rows*cols floats, row-major, whitespace separated>
 ///   ...
+///
+/// Values are written as C99 hexfloats ("%a"), which round-trip every
+/// float bit-for-bit, so Save -> Load -> Save reproduces the file
+/// byte-identically. Load also accepts the decimal floats older
+/// checkpoints used. Non-finite values are rejected on both save and load
+/// with InvalidArgument (a NaN/Inf weight is a corrupted model, not a
+/// checkpoint to propagate).
 ///
 /// Loading requires the destination parameter list to already have the
 /// same shapes (i.e. the model must be constructed with the same

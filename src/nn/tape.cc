@@ -4,8 +4,14 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels.h"
 
 namespace neursc {
+
+// Forward values are computed by the shared kernels in nn/kernels.h — the
+// same functions the forward-only EvalContext calls — so the two backends
+// are bit-identical by construction. Everything below the kernel call in
+// each op is the backward closure, which is Tape-only.
 
 void GradientSink::Accumulate(Parameter* param, const Matrix& delta) {
   auto it = buffers_.find(param);
@@ -58,7 +64,8 @@ Var Tape::Leaf(Parameter* param) {
 }
 
 Var Tape::MatMul(Var a, Var b) {
-  Matrix out = Matrix::MatMul(Value(a), Value(b));
+  Matrix out(Value(a).rows(), Value(b).cols());
+  Matrix::MatMulInto(Value(a), Value(b), &out);
   bool req = Requires(a) || Requires(b);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -78,8 +85,8 @@ Var Tape::MatMul(Var a, Var b) {
 }
 
 Var Tape::Add(Var a, Var b) {
-  Matrix out = Value(a);
-  out.AddInPlace(Value(b));
+  Matrix out(Value(a).rows(), Value(a).cols());
+  fwd::Add(Value(a), Value(b), &out);
   bool req = Requires(a) || Requires(b);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -96,12 +103,8 @@ Var Tape::Add(Var a, Var b) {
 
 Var Tape::AddRowBroadcast(Var x, Var bias) {
   const Matrix& xv = Value(x);
-  const Matrix& bv = Value(bias);
-  NEURSC_CHECK(bv.rows() == 1 && bv.cols() == xv.cols());
-  Matrix out = xv;
-  for (size_t r = 0; r < out.rows(); ++r) {
-    for (size_t c = 0; c < out.cols(); ++c) out.at(r, c) += bv.at(0, c);
-  }
+  Matrix out(xv.rows(), xv.cols());
+  fwd::AddRowBroadcast(xv, Value(bias), &out);
   bool req = Requires(x) || Requires(bias);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -122,8 +125,8 @@ Var Tape::AddRowBroadcast(Var x, Var bias) {
 }
 
 Var Tape::Sub(Var a, Var b) {
-  Matrix out = Value(a);
-  out.AxpyInPlace(-1.0f, Value(b));
+  Matrix out(Value(a).rows(), Value(a).cols());
+  fwd::Sub(Value(a), Value(b), &out);
   bool req = Requires(a) || Requires(b);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -144,10 +147,8 @@ Var Tape::Sub(Var a, Var b) {
 
 Var Tape::Mul(Var a, Var b) {
   const Matrix& av = Value(a);
-  const Matrix& bv = Value(b);
-  NEURSC_CHECK(av.rows() == bv.rows() && av.cols() == bv.cols());
-  Matrix out = av;
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= bv.data()[i];
+  Matrix out(av.rows(), av.cols());
+  fwd::Mul(av, Value(b), &out);
   bool req = Requires(a) || Requires(b);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -173,8 +174,9 @@ Var Tape::Mul(Var a, Var b) {
 }
 
 Var Tape::Scale(Var a, float s) {
-  Matrix out = Value(a);
-  out.ScaleInPlace(s);
+  const Matrix& av = Value(a);
+  Matrix out(av.rows(), av.cols());
+  fwd::Scale(av, s, &out);
   bool req = Requires(a);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -189,10 +191,9 @@ Var Tape::Scale(Var a, float s) {
 }
 
 Var Tape::Relu(Var a) {
-  Matrix out = Value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
-  }
+  const Matrix& av = Value(a);
+  Matrix out(av.rows(), av.cols());
+  fwd::Relu(av, &out);
   bool req = Requires(a);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -212,11 +213,9 @@ Var Tape::Relu(Var a) {
 
 Var Tape::LeakyRelu(Var a, float negative_slope) {
   const float s = negative_slope;
-  Matrix out = Value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    float x = out.data()[i];
-    out.data()[i] = x > 0.0f ? x : s * x;
-  }
+  const Matrix& av = Value(a);
+  Matrix out(av.rows(), av.cols());
+  fwd::LeakyRelu(av, s, &out);
   bool req = Requires(a);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -235,10 +234,9 @@ Var Tape::LeakyRelu(Var a, float negative_slope) {
 }
 
 Var Tape::Sigmoid(Var a) {
-  Matrix out = Value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
-  }
+  const Matrix& av = Value(a);
+  Matrix out(av.rows(), av.cols());
+  fwd::Sigmoid(av, &out);
   bool req = Requires(a);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -258,10 +256,9 @@ Var Tape::Sigmoid(Var a) {
 }
 
 Var Tape::Tanh(Var a) {
-  Matrix out = Value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::tanh(out.data()[i]);
-  }
+  const Matrix& av = Value(a);
+  Matrix out(av.rows(), av.cols());
+  fwd::Tanh(av, &out);
   bool req = Requires(a);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -281,10 +278,9 @@ Var Tape::Tanh(Var a) {
 }
 
 Var Tape::Exp(Var a) {
-  Matrix out = Value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::exp(std::clamp(out.data()[i], -30.0f, 30.0f));
-  }
+  const Matrix& av = Value(a);
+  Matrix out(av.rows(), av.cols());
+  fwd::Exp(av, &out);
   bool req = Requires(a);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -306,10 +302,9 @@ Var Tape::Exp(Var a) {
 }
 
 Var Tape::Log(Var a) {
-  Matrix out = Value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::log(std::max(out.data()[i], 1e-12f));
-  }
+  const Matrix& av = Value(a);
+  Matrix out(av.rows(), av.cols());
+  fwd::Log(av, &out);
   bool req = Requires(a);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -329,19 +324,8 @@ Var Tape::Log(Var a) {
 
 Var Tape::RowSoftmax(Var a) {
   const Matrix& xv = Value(a);
-  Matrix out = xv;
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
-    float mx = row[0];
-    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
-    double sum = 0.0;
-    for (size_t c = 0; c < out.cols(); ++c) {
-      row[c] = std::exp(row[c] - mx);
-      sum += row[c];
-    }
-    float inv = static_cast<float>(1.0 / std::max(sum, 1e-30));
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
-  }
+  Matrix out(xv.rows(), xv.cols());
+  fwd::RowSoftmax(xv, &out);
   bool req = Requires(a);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -368,12 +352,8 @@ Var Tape::RowSoftmax(Var a) {
 Var Tape::ConcatCols(Var a, Var b) {
   const Matrix& av = Value(a);
   const Matrix& bv = Value(b);
-  NEURSC_CHECK(av.rows() == bv.rows());
   Matrix out(av.rows(), av.cols() + bv.cols());
-  for (size_t r = 0; r < av.rows(); ++r) {
-    std::copy(av.row(r), av.row(r) + av.cols(), out.row(r));
-    std::copy(bv.row(r), bv.row(r) + bv.cols(), out.row(r) + av.cols());
-  }
+  fwd::ConcatCols(av, bv, &out);
   bool req = Requires(a) || Requires(b);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -406,18 +386,15 @@ Var Tape::ConcatRows(const std::vector<Var>& parts) {
   size_t total_rows = 0;
   size_t cols = Value(parts[0]).cols();
   bool req = false;
+  std::vector<const Matrix*> values;
+  values.reserve(parts.size());
   for (Var p : parts) {
-    NEURSC_CHECK(Value(p).cols() == cols);
-    total_rows += Value(p).rows();
+    values.push_back(&Value(p));
+    total_rows += values.back()->rows();
     req = req || Requires(p);
   }
   Matrix out(total_rows, cols);
-  size_t row = 0;
-  for (Var p : parts) {
-    const Matrix& pv = Value(p);
-    std::copy(pv.data(), pv.data() + pv.size(), out.row(row));
-    row += pv.rows();
-  }
+  fwd::ConcatRows(values, &out);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
   int out_id = v.id;
@@ -446,10 +423,7 @@ Var Tape::ConcatRows(const std::vector<Var>& parts) {
 Var Tape::GatherRows(Var x, std::vector<uint32_t> rows) {
   const Matrix& xv = Value(x);
   Matrix out(rows.size(), xv.cols());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    NEURSC_CHECK(rows[i] < xv.rows());
-    std::copy(xv.row(rows[i]), xv.row(rows[i]) + xv.cols(), out.row(i));
-  }
+  fwd::GatherRows(xv, rows, &out);
   bool req = Requires(x);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -470,14 +444,8 @@ Var Tape::GatherRows(Var x, std::vector<uint32_t> rows) {
 Var Tape::ScatterAddRows(Var x, std::vector<uint32_t> targets,
                          size_t num_rows) {
   const Matrix& xv = Value(x);
-  NEURSC_CHECK(targets.size() == xv.rows());
   Matrix out(num_rows, xv.cols());
-  for (size_t i = 0; i < targets.size(); ++i) {
-    NEURSC_CHECK(targets[i] < num_rows);
-    for (size_t c = 0; c < xv.cols(); ++c) {
-      out.at(targets[i], c) += xv.at(i, c);
-    }
-  }
+  fwd::ScatterAddRows(xv, targets, &out);
   bool req = Requires(x);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -499,23 +467,10 @@ Var Tape::ScatterAddRows(Var x, std::vector<uint32_t> targets,
 Var Tape::SegmentSoftmax(Var logits, std::vector<uint32_t> segments,
                          size_t num_segments) {
   const Matrix& xv = Value(logits);
-  NEURSC_CHECK(xv.cols() == 1 && segments.size() == xv.rows());
   Matrix out(xv.rows(), 1);
-  std::vector<float> seg_max(num_segments, -1e30f);
-  for (size_t i = 0; i < segments.size(); ++i) {
-    NEURSC_CHECK(segments[i] < num_segments);
-    seg_max[segments[i]] = std::max(seg_max[segments[i]], xv.at(i, 0));
-  }
-  std::vector<double> seg_sum(num_segments, 0.0);
-  for (size_t i = 0; i < segments.size(); ++i) {
-    float e = std::exp(xv.at(i, 0) - seg_max[segments[i]]);
-    out.at(i, 0) = e;
-    seg_sum[segments[i]] += e;
-  }
-  for (size_t i = 0; i < segments.size(); ++i) {
-    out.at(i, 0) =
-        static_cast<float>(out.at(i, 0) / std::max(seg_sum[segments[i]], 1e-30));
-  }
+  std::vector<float> seg_max;
+  std::vector<double> seg_sum;
+  fwd::SegmentSoftmax(xv, segments, num_segments, &out, &seg_max, &seg_sum);
   bool req = Requires(logits);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -543,13 +498,8 @@ Var Tape::SegmentSoftmax(Var logits, std::vector<uint32_t> segments,
 
 Var Tape::ColBroadcastMul(Var x, Var w) {
   const Matrix& xv = Value(x);
-  const Matrix& wv = Value(w);
-  NEURSC_CHECK(wv.cols() == 1 && wv.rows() == xv.rows());
-  Matrix out = xv;
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float wr = wv.at(r, 0);
-    for (size_t c = 0; c < out.cols(); ++c) out.at(r, c) *= wr;
-  }
+  Matrix out(xv.rows(), xv.cols());
+  fwd::ColBroadcastMul(xv, Value(w), &out);
   bool req = Requires(x) || Requires(w);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -584,9 +534,7 @@ Var Tape::ColBroadcastMul(Var x, Var w) {
 Var Tape::SumRows(Var x) {
   const Matrix& xv = Value(x);
   Matrix out(1, xv.cols());
-  for (size_t r = 0; r < xv.rows(); ++r) {
-    for (size_t c = 0; c < xv.cols(); ++c) out.at(0, c) += xv.at(r, c);
-  }
+  fwd::SumRows(xv, &out);
   bool req = Requires(x);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -610,7 +558,8 @@ Var Tape::MeanRows(Var x) {
 
 Var Tape::ReduceSum(Var x) {
   const Matrix& xv = Value(x);
-  Matrix out = Matrix::Scalar(xv.Sum());
+  Matrix out(1, 1);
+  fwd::ReduceSum(xv, &out);
   bool req = Requires(x);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
@@ -628,15 +577,17 @@ Var Tape::QErrorLoss(Var pred, double target, double eps) {
   const Matrix& pv = Value(pred);
   NEURSC_CHECK(pv.rows() == 1 && pv.cols() == 1);
   double c_hat = pv.at(0, 0);
-  double c = std::max(target, 1.0);
-  double under = c / (c_hat + eps);   // penalizes underestimation
-  double over = c_hat / c;            // penalizes overestimation
-  Matrix out = Matrix::Scalar(static_cast<float>(std::max(under, over)));
+  fwd::QErrorParts parts = fwd::QError(c_hat, target, eps);
+  Matrix out(1, 1);
+  out.at(0, 0) = parts.loss;
   bool req = Requires(pred);
   Var v = MakeNode(std::move(out), req, nullptr);
   if (!req) return v;
   int out_id = v.id;
   int pid = pred.id;
+  const double c = parts.c;
+  const double under = parts.under;
+  const double over = parts.over;
   nodes_[out_id].backward = [out_id, pid, c, c_hat, eps, under,
                              over](Tape* t) {
     float g = t->nodes_[out_id].grad.at(0, 0);

@@ -7,28 +7,9 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "nn/param.h"
 
 namespace neursc {
-
-/// A trainable tensor: value plus accumulated gradient. Owned by modules
-/// (Linear, GIN, ...); the Tape only references parameters during a
-/// forward/backward pass.
-struct Parameter {
-  Matrix value;
-  Matrix grad;
-
-  Parameter() = default;
-  explicit Parameter(Matrix v)
-      : value(std::move(v)), grad(value.rows(), value.cols()) {}
-
-  void ZeroGrad() { grad.Fill(0.0f); }
-};
-
-/// Lightweight handle to a node on the tape.
-struct Var {
-  int id = -1;
-  bool valid() const { return id >= 0; }
-};
 
 /// Tape-local buffer of leaf gradients. When installed on a Tape (see
 /// Tape::set_gradient_sink), Backward() accumulates each Leaf's gradient
@@ -73,6 +54,13 @@ class GradientSink {
 /// algebra, pointwise nonlinearities, and segment (scatter/gather) ops for
 /// message passing and attention.
 ///
+/// The Tape is the *training* backend of the execution-context concept
+/// (docs/execution.md): modules are templated over the context, and
+/// forward-only call sites run the same op sequence on the tape-free
+/// EvalContext (nn/eval.h) instead. Both backends evaluate their forward
+/// values through the shared kernels in nn/kernels.h, so their outputs are
+/// bit-identical by construction.
+///
 /// Threading contract (docs/threading.md): a Tape is confined to one
 /// thread — it is not internally synchronized, and all its mutable state
 /// (the node list, per-node gradients, the backward flag, the gradient
@@ -90,7 +78,12 @@ class GradientSink {
 /// for one Parameter set must stay on one thread at a time (the serial
 /// critic updates use this mode). Mutating a shared Parameter (optimizer
 /// steps, weight clamping, LoadModel) while another thread runs a
-/// forward or backward pass over it is a data race.
+/// forward or backward pass over it is a data race. The same confinement
+/// rules apply to EvalContext, with one addition: an EvalContext's arena
+/// is reused across passes, so a context must not be handed to another
+/// thread until the previous pass's results have been fully consumed —
+/// pooled serving goes through EvalContextPool, which enforces exclusive
+/// leases (see nn/eval.h and docs/threading.md).
 class Tape {
  public:
   Tape() = default;

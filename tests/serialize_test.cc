@@ -1,5 +1,8 @@
 #include "nn/serialize.h"
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -29,6 +32,105 @@ TEST(SerializeTest, RoundTripParameters) {
   for (size_t i = 0; i < orig.size(); ++i) {
     EXPECT_LT(Matrix::MaxAbsDiff(orig[i]->value, loaded[i]->value), 1e-6f);
   }
+}
+
+TEST(SerializeTest, RoundTripIsBitExactAndResaveIsByteIdentical) {
+  // The hexfloat format must reproduce every weight bit for bit, and a
+  // Save -> Load -> Save cycle must therefore reproduce the checkpoint
+  // byte for byte (the property that makes checkpoints diffable and
+  // re-training-free pipelines deterministic).
+  Rng rng(11);
+  Mlp mlp({4, 8, 2}, Activation::kRelu, &rng);
+  // Include values a short decimal rendering would mangle.
+  auto params = mlp.Parameters();
+  params[0]->value.at(0, 0) = std::nextafterf(1.0f, 2.0f);
+  params[0]->value.at(0, 1) = -0.0f;
+  params[0]->value.at(0, 2) = std::numeric_limits<float>::denorm_min();
+  params[0]->value.at(0, 3) = std::numeric_limits<float>::max();
+
+  std::ostringstream first;
+  ASSERT_TRUE(SaveParameters(params, first).ok());
+
+  Rng rng2(99);
+  Mlp copy({4, 8, 2}, Activation::kRelu, &rng2);
+  std::istringstream in(first.str());
+  ASSERT_TRUE(LoadParameters(copy.Parameters(), in).ok());
+
+  auto loaded = copy.Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Matrix& a = params[i]->value;
+    const Matrix& b = loaded[i]->value;
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+        << "param " << i << " not bit-identical";
+  }
+
+  std::ostringstream second;
+  ASSERT_TRUE(SaveParameters(loaded, second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(SerializeTest, AcceptsLegacyDecimalCheckpoints) {
+  Rng rng(12);
+  Mlp mlp({2, 2}, Activation::kNone, &rng);
+  // A pre-hexfloat checkpoint: plain decimal floats.
+  std::istringstream in(
+      "neursc-params v1 2\n"
+      "param 2 2\n"
+      "0.5 -1.25 3.0e-2 100\n"
+      "param 1 2\n"
+      "0 -0.75\n");
+  ASSERT_TRUE(LoadParameters(mlp.Parameters(), in).ok());
+  EXPECT_FLOAT_EQ(mlp.Parameters()[0]->value.at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(mlp.Parameters()[0]->value.at(1, 1), 100.0f);
+  EXPECT_FLOAT_EQ(mlp.Parameters()[1]->value.at(0, 1), -0.75f);
+}
+
+TEST(SerializeTest, SaveRejectsNonFiniteWeights) {
+  for (float bad : {std::numeric_limits<float>::quiet_NaN(),
+                    std::numeric_limits<float>::infinity(),
+                    -std::numeric_limits<float>::infinity()}) {
+    Rng rng(13);
+    Mlp mlp({2, 2}, Activation::kNone, &rng);
+    mlp.Parameters()[0]->value.at(1, 0) = bad;
+    std::ostringstream out;
+    auto st = SaveParameters(mlp.Parameters(), out);
+    EXPECT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  }
+}
+
+TEST(SerializeTest, LoadRejectsNonFiniteValues) {
+  // strtof parses "nan"/"inf" spellings and saturates overflowing
+  // decimals to infinity; all three must be rejected as InvalidArgument.
+  for (const char* bad : {"nan", "inf", "-inf", "1e999"}) {
+    Rng rng(14);
+    Mlp mlp({2, 2}, Activation::kNone, &rng);
+    std::istringstream in(std::string("neursc-params v1 2\n"
+                                      "param 2 2\n"
+                                      "0.5 ") +
+                          bad +
+                          " 1.0 2.0\n"
+                          "param 1 2\n"
+                          "0 0\n");
+    auto st = LoadParameters(mlp.Parameters(), in);
+    EXPECT_FALSE(st.ok()) << "value: " << bad;
+    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  }
+}
+
+TEST(SerializeTest, LoadRejectsMalformedValueTokens) {
+  Rng rng(15);
+  Mlp mlp({2, 2}, Activation::kNone, &rng);
+  std::istringstream in(
+      "neursc-params v1 2\n"
+      "param 2 2\n"
+      "0.5 bogus 1.0 2.0\n"
+      "param 1 2\n"
+      "0 0\n");
+  auto st = LoadParameters(mlp.Parameters(), in);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
 }
 
 TEST(SerializeTest, RejectsCountMismatch) {
