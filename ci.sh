@@ -21,6 +21,15 @@
 #      bit agreement, zero steady-state arena growth (any eval/arena_grows
 #      regression fails the run), and reduced per-pass allocations over
 #      the Table-4 model sizes. Wall clock is reported, never gated.
+#   6. Static thread-safety analysis: a Clang build of the full tree with
+#      -DNEURSC_ANALYZE=ON (-Werror=thread-safety), proving every
+#      NEURSC_GUARDED_BY / NEURSC_REQUIRES contract, plus the clang-tidy
+#      gate (scripts/lint.sh, .clang-tidy check set). Skipped loudly when
+#      clang is not installed — the annotations are no-op macros on GCC.
+#   7. ASan+UBSan lane: the full ctest suite rebuilt with
+#      -DNEURSC_SANITIZE=address,undefined; UBSan failures are fatal
+#      (-fno-sanitize-recover), so any signed-overflow/bad-shift/bad-cast
+#      or memory bug fails the run.
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -29,23 +38,24 @@ cd "$(dirname "$0")"
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/5] Release build + tests ==="
+echo "=== [1/7] Release build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 echo
-echo "=== [2/5] TSan build + concurrency tests (ctest -L concurrency) ==="
+echo "=== [2/7] TSan build + concurrency tests (ctest -L concurrency) ==="
 cmake -B build-tsan -S . -DNEURSC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   parallel_test metrics_stress_test metrics_registry_test trace_test \
   estimate_parallel_test candidate_filter_parallel_test \
-  train_parallel_test pipeline_stress_test eval_context_test
+  train_parallel_test pipeline_stress_test eval_context_test \
+  thread_annotations_test
 NEURSC_THREADS=8 ctest --test-dir build-tsan -L concurrency \
   --output-on-failure
 
 echo
-echo "=== [3/5] Inference-path differential (Release + TSan) ==="
+echo "=== [3/7] Inference-path differential (Release + TSan) ==="
 cmake --build build-tsan -j "$JOBS" --target serialize_test
 ctest --test-dir build -R 'eval_context_test|serialize_test' \
   --output-on-failure
@@ -53,15 +63,35 @@ NEURSC_THREADS=8 ctest --test-dir build-tsan \
   -R 'eval_context_test|serialize_test' --output-on-failure
 
 echo
-echo "=== [4/5] Training-throughput smoke (NEURSC_THREADS sweep) ==="
+echo "=== [4/7] Training-throughput smoke (NEURSC_THREADS sweep) ==="
 cmake --build build -j "$JOBS" --target bench_table4_training_time
 NEURSC_SCALE=0.25 NEURSC_EPOCHS=4 NEURSC_QUERIES=8 \
   ./build/bench/bench_table4_training_time
 
 echo
-echo "=== [5/5] Forward-engine smoke (agreement + allocation gates) ==="
+echo "=== [5/7] Forward-engine smoke (agreement + allocation gates) ==="
 cmake --build build -j "$JOBS" --target bench_micro_forward
 NEURSC_PASSES=10 ./build/bench/bench_micro_forward
+
+echo
+echo "=== [6/7] Static analysis: Clang -Werror=thread-safety + clang-tidy ==="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-analyze -S . -DNEURSC_ANALYZE=ON \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-analyze -j "$JOBS"
+  scripts/lint.sh
+else
+  echo "SKIPPED: clang++ not installed; thread-safety annotations are"
+  echo "no-op macros under GCC, so there is nothing to check on this host."
+  echo "Install clang + clang-tidy to run this lane."
+fi
+
+echo
+echo "=== [7/7] ASan+UBSan build + full test suite ==="
+cmake -B build-asan -S . -DNEURSC_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-asan --output-on-failure
 
 echo
 echo "ci.sh: all green"

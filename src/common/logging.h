@@ -8,6 +8,13 @@
 #include <sstream>
 #include <string>
 
+// Thread safety: logging is deliberately lock-free, so there is no mutex
+// here to annotate (docs/threading.md lock table). The severity threshold
+// and the NEURSC_LOG_EVERY_N counters are relaxed atomics, and Emit()
+// formats each line into one buffer written by a single fwrite(3) — POSIX
+// stream operations are atomic with respect to each other, so concurrent
+// log lines never interleave mid-line.
+
 namespace neursc {
 
 /// Log severities. kFatal aborts the process after logging.

@@ -32,8 +32,8 @@ class ShardSlotPool {
     return *pool;
   }
 
-  size_t Acquire(bool* leased) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t Acquire(bool* leased) NEURSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (!free_.empty()) {
       size_t index = free_.back();
       free_.pop_back();
@@ -46,8 +46,8 @@ class ShardSlotPool {
     return overflow_next_++ % kShardCount;
   }
 
-  void Release(size_t index) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Release(size_t index) NEURSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     free_.push_back(index);
   }
 
@@ -57,9 +57,9 @@ class ShardSlotPool {
     for (size_t i = kShardCount; i-- > 0;) free_.push_back(i);
   }
 
-  std::mutex mu_;
-  std::vector<size_t> free_;
-  size_t overflow_next_ = 0;
+  Mutex mu_;
+  std::vector<size_t> free_ NEURSC_GUARDED_BY(mu_);
+  size_t overflow_next_ NEURSC_GUARDED_BY(mu_) = 0;
 };
 
 struct ShardLease {
@@ -100,6 +100,10 @@ void Counter::Reset() {
 
 size_t Histogram::BucketIndex(double value) {
   if (!(value > 0.0)) return 0;  // zeros, negatives, NaN
+  // +inf must be caught before frexp: its exponent output is unspecified,
+  // so the sub-bucket cast below would be UB (float-cast-overflow). It
+  // clamps to the overflow bucket like any other out-of-range value.
+  if (std::isinf(value)) return kNumBuckets - 1;
   int exp = 0;
   double mantissa = std::frexp(value, &exp);  // mantissa in [0.5, 1)
   if (exp < kMinExp) return 1;                // underflow: smallest bucket
@@ -361,7 +365,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   NEURSC_CHECK(gauges_.find(name) == gauges_.end() &&
                histograms_.find(name) == histograms_.end())
       << "metric name registered with a different kind: " << name;
@@ -374,7 +378,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   NEURSC_CHECK(counters_.find(name) == counters_.end() &&
                histograms_.find(name) == histograms_.end())
       << "metric name registered with a different kind: " << name;
@@ -386,7 +390,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   NEURSC_CHECK(counters_.find(name) == counters_.end() &&
                gauges_.find(name) == gauges_.end())
       << "metric name registered with a different kind: " << name;
@@ -399,7 +403,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -427,7 +431,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

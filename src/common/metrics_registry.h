@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 // Process-wide metrics: named counters, gauges, and log-bucketed histograms.
@@ -191,10 +191,15 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the name directories only; the returned metric objects are
+  /// internally thread-safe (sharded atomics) and outlive the lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      NEURSC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      NEURSC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      NEURSC_GUARDED_BY(mu_);
 };
 
 #if defined(NEURSC_DISABLE_OBSERVABILITY)

@@ -1,14 +1,13 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/mutex.h"
 
 namespace neursc {
 
@@ -25,13 +24,16 @@ struct Job {
   size_t n = 0;
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-  size_t first_error_index = 0;
+  Mutex error_mu;
+  std::exception_ptr first_error NEURSC_GUARDED_BY(error_mu);
+  size_t first_error_index NEURSC_GUARDED_BY(error_mu) = 0;
 };
 
 /// Claims indices off `job` until the range is exhausted or a task has
-/// failed. Runs on workers and on the calling thread alike.
+/// failed. Runs on workers and on the calling thread alike; no pool lock
+/// is held here, so user callbacks execute lock-free (a body may safely
+/// block on work completed by other threads, call WorkerPoolThreadCount(),
+/// or throw without any lock in flight).
 void RunJobTasks(Job* job) {
   for (size_t i = job->next.fetch_add(1); i < job->n;
        i = job->next.fetch_add(1)) {
@@ -40,7 +42,7 @@ void RunJobTasks(Job* job) {
       (*job->fn)(i);
     } catch (...) {
       job->failed.store(true, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(job->error_mu);
+      MutexLock lock(&job->error_mu);
       // Keep the exception of the lowest failing index that ran.
       if (!job->first_error || i < job->first_error_index) {
         job->first_error_index = i;
@@ -57,8 +59,12 @@ void RunJobTasks(Job* job) {
 /// condition variable between regions.
 ///
 /// One region runs at a time: a second caller blocks in Run() until the
-/// first completes. The calling thread participates in its own region, so a
-/// region asking for N threads uses N-1 pool workers.
+/// first completes. Region exclusivity is a CondVar-guarded flag rather
+/// than a mutex held for the region's duration, so no lock whatsoever is
+/// held while user callbacks run — and the error rethrow happens after the
+/// flag is cleared, so a throwing body can never leave a waiting region
+/// stuck. The calling thread participates in its own region, so a region
+/// asking for N threads uses N-1 pool workers.
 class WorkerPool {
  public:
   static WorkerPool& Instance() {
@@ -67,101 +73,120 @@ class WorkerPool {
   }
 
   void Run(size_t n, const std::function<void(size_t)>& fn,
-           size_t num_threads) {
+           size_t num_threads) NEURSC_EXCLUDES(mu_) {
     NEURSC_GAUGE_SET("parallel.pool_waiting_regions",
                      static_cast<double>(waiting_regions_.fetch_add(1) + 1));
-    std::lock_guard<std::mutex> region(region_mu_);
-    NEURSC_GAUGE_SET("parallel.pool_waiting_regions",
-                     static_cast<double>(waiting_regions_.fetch_sub(1) - 1));
     Job job;
     job.fn = &fn;
     job.n = n;
     const size_t helpers = num_threads - 1;
     size_t pool_size;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      while (threads_.size() < helpers) {
-        threads_.emplace_back([this] { WorkerLoop(); });
-      }
-      pool_size = threads_.size();
-      current_ = &job;
-      ++job_seq_;
-      joiners_left_ = helpers;
+    mu_.Lock();
+    while (region_active_) region_cv_.Wait(&mu_);
+    region_active_ = true;
+    while (threads_.size() < helpers) {
+      threads_.emplace_back([this] { WorkerLoop(); });
     }
+    pool_size = threads_.size();
+    current_ = &job;
+    ++job_seq_;
+    joiners_left_ = helpers;
+    mu_.Unlock();
+    cv_.SignalAll();
+    NEURSC_GAUGE_SET("parallel.pool_waiting_regions",
+                     static_cast<double>(waiting_regions_.fetch_sub(1) - 1));
     NEURSC_GAUGE_SET("parallel.pool_threads",
                      static_cast<double>(pool_size));
-    cv_.notify_all();
     // The caller works too, with worker semantics so nested ParallelFor
     // calls from its tasks run inline like they do on pool workers.
     in_parallel_worker = true;
     RunJobTasks(&job);
     in_parallel_worker = false;
+    mu_.Lock();
+    // No worker may join once current_ is cleared; joining and clearing
+    // are both under mu_, so after the drain below the job is unreachable
+    // and the region slot can be handed to the next caller.
+    current_ = nullptr;
+    while (active_ != 0) done_cv_.Wait(&mu_);
+    region_active_ = false;
+    mu_.Unlock();
+    region_cv_.SignalAll();
+    // Rethrow with the region already released: a throwing body cannot
+    // deadlock callers waiting for the next region (parallel_test.cc).
+    std::exception_ptr first_error;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      // No worker may join once current_ is cleared; joining and clearing
-      // are both under mu_, so after the wait below the job is unreachable.
-      current_ = nullptr;
-      done_cv_.wait(lk, [&] { return active_ == 0; });
+      MutexLock lock(&job.error_mu);
+      first_error = job.first_error;
     }
-    if (job.first_error) std::rethrow_exception(job.first_error);
+    if (first_error) std::rethrow_exception(first_error);
   }
 
-  size_t ThreadCount() {
-    std::lock_guard<std::mutex> lk(mu_);
+  size_t ThreadCount() NEURSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return threads_.size();
   }
 
   ~WorkerPool() {
+    std::vector<std::thread> threads;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(&mu_);
       shutdown_ = true;
+      // Joining must happen unlocked (workers need mu_ to observe
+      // shutdown_), so take ownership of the handles under the lock.
+      threads.swap(threads_);
     }
-    cv_.notify_all();
-    for (auto& t : threads_) t.join();
+    cv_.SignalAll();
+    for (auto& t : threads) t.join();
   }
 
  private:
   WorkerPool() = default;
 
-  void WorkerLoop() {
+  void WorkerLoop() NEURSC_EXCLUDES(mu_) {
     in_parallel_worker = true;
     uint64_t seen_seq = 0;
-    std::unique_lock<std::mutex> lk(mu_);
+    mu_.Lock();
     while (true) {
-      cv_.wait(lk, [&] {
-        return shutdown_ || (current_ != nullptr && job_seq_ != seen_seq &&
-                             joiners_left_ > 0);
-      });
-      if (shutdown_) return;
+      while (!shutdown_ && (current_ == nullptr || job_seq_ == seen_seq ||
+                            joiners_left_ == 0)) {
+        cv_.Wait(&mu_);
+      }
+      if (shutdown_) break;
       seen_seq = job_seq_;
       Job* job = current_;
       --joiners_left_;
       ++active_;
-      lk.unlock();
+      mu_.Unlock();
       RunJobTasks(job);
-      lk.lock();
-      if (--active_ == 0) done_cv_.notify_all();
+      mu_.Lock();
+      if (--active_ == 0) done_cv_.SignalAll();
     }
+    mu_.Unlock();
   }
 
-  // Serializes top-level regions (nested calls never reach Run()).
-  std::mutex region_mu_;
+  // Count of callers inside Run() that have not started their region yet
+  // (diagnostics gauge only).
   std::atomic<size_t> waiting_regions_{0};
 
-  // Guards all fields below plus job join/leave transitions.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> threads_;
-  Job* current_ = nullptr;
+  // Guards all fields below plus job join/leave transitions. Leaf lock:
+  // never held while user callbacks run or while another lock is taken
+  // (lock hierarchy table in docs/threading.md).
+  Mutex mu_;
+  CondVar cv_;         // workers park here between regions
+  CondVar done_cv_;    // caller drains its region's workers
+  CondVar region_cv_;  // callers queue here for region exclusivity
+  std::vector<std::thread> threads_ NEURSC_GUARDED_BY(mu_);
+  // True while some caller owns the (single) region slot.
+  bool region_active_ NEURSC_GUARDED_BY(mu_) = false;
+  Job* current_ NEURSC_GUARDED_BY(mu_) = nullptr;
   // Bumped per region so a worker joins each job at most once.
-  uint64_t job_seq_ = 0;
+  uint64_t job_seq_ NEURSC_GUARDED_BY(mu_) = 0;
   // How many workers may still join the current job (a region may use
   // fewer workers than the pool holds).
-  size_t joiners_left_ = 0;
+  size_t joiners_left_ NEURSC_GUARDED_BY(mu_) = 0;
   // Workers currently inside RunJobTasks for the current job.
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ NEURSC_GUARDED_BY(mu_) = 0;
+  bool shutdown_ NEURSC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace

@@ -59,7 +59,7 @@ struct TraceBufferLease {
 TraceRecorder::Buffer* TraceRecorder::ThreadBuffer() {
   thread_local TraceBufferLease lease;
   if (lease.buffer == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!free_buffers_.empty()) {
       lease.buffer = free_buffers_.back();
       free_buffers_.pop_back();
@@ -70,7 +70,7 @@ TraceRecorder::Buffer* TraceRecorder::ThreadBuffer() {
     }
     lease.release = [](Buffer* buffer) {
       TraceRecorder& recorder = TraceRecorder::Global();
-      std::lock_guard<std::mutex> lock(recorder.mu_);
+      MutexLock lock(&recorder.mu_);
       recorder.free_buffers_.push_back(buffer);
     };
   }
@@ -80,23 +80,23 @@ TraceRecorder::Buffer* TraceRecorder::ThreadBuffer() {
 void TraceRecorder::Record(const char* name, int64_t start_us,
                            int64_t dur_us) {
   Buffer* buffer = ThreadBuffer();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(&buffer->mu);
   buffer->events.push_back(Event{name, start_us, dur_us});
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     buffer->events.clear();
   }
 }
 
 size_t TraceRecorder::EventCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     total += buffer->events.size();
   }
   return total;
@@ -118,10 +118,10 @@ Status TraceRecorder::WriteChromeTrace(const std::string& path) {
   std::string json =
       "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     bool first = true;
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       for (const Event& event : buffer->events) {
         if (!first) json.append(",\n");
         first = false;

@@ -5,11 +5,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 // Scoped trace spans with Chrome trace_event JSON export.
@@ -77,21 +77,27 @@ class TraceRecorder {
 
   /// One thread's event sink. The owning thread appends under `mu` (an
   /// uncontended lock in steady state); WriteChromeTrace locks each buffer
-  /// while draining so concurrent spans stay race-free.
+  /// while draining so concurrent spans stay race-free. `mu` is acquired
+  /// after the recorder-wide `mu_` on the drain paths (lock hierarchy in
+  /// docs/threading.md); Record() takes only `mu`.
   struct Buffer {
-    std::mutex mu;
-    std::vector<Event> events;
+    Mutex mu;
+    std::vector<Event> events NEURSC_GUARDED_BY(mu);
+    /// Written once when the buffer is created (under the recorder's mu_),
+    /// constant afterwards — readable without Buffer::mu.
     int tid = 0;
   };
 
-  Buffer* ThreadBuffer();
+  Buffer* ThreadBuffer() NEURSC_EXCLUDES(mu_);
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Buffer>> buffers_;
-  std::vector<Buffer*> free_buffers_;
-  int next_tid_ = 1;
+  /// Guards buffer registration/recycling; each Buffer's events are then
+  /// guarded by their own Buffer::mu.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_ NEURSC_GUARDED_BY(mu_);
+  std::vector<Buffer*> free_buffers_ NEURSC_GUARDED_BY(mu_);
+  int next_tid_ NEURSC_GUARDED_BY(mu_) = 1;
 
   friend struct TraceBufferLease;
 };

@@ -5,11 +5,11 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/discriminator.h"
@@ -293,14 +293,14 @@ class PreparedQueryCache {
   PreparedQueryCache(const PreparedQueryCache&) = delete;
   PreparedQueryCache& operator=(const PreparedQueryCache&) = delete;
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const NEURSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return entries_.size();
   }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() NEURSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     entries_.clear();
   }
 
@@ -308,8 +308,9 @@ class PreparedQueryCache {
   friend class NeurSCEstimator;
 
   /// Null on miss (counts toward misses()).
-  std::shared_ptr<const NeurSCEstimator::Prepared> Lookup(uint64_t key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const NeurSCEstimator::Prepared> Lookup(uint64_t key)
+      NEURSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -323,16 +324,18 @@ class PreparedQueryCache {
   /// thread inserted the key first (both are equal — Prepared is a
   /// deterministic function of the query).
   std::shared_ptr<const NeurSCEstimator::Prepared> Insert(
-      uint64_t key, std::shared_ptr<const NeurSCEstimator::Prepared> value) {
-    std::lock_guard<std::mutex> lock(mu_);
+      uint64_t key, std::shared_ptr<const NeurSCEstimator::Prepared> value)
+      NEURSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto [it, inserted] = entries_.emplace(key, std::move(value));
     return it->second;
   }
 
-  mutable std::mutex mu_;
+  /// Guards the entry map; hit/miss tallies are lock-free atomics.
+  mutable Mutex mu_;
   std::unordered_map<uint64_t,
                      std::shared_ptr<const NeurSCEstimator::Prepared>>
-      entries_;
+      entries_ NEURSC_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

@@ -228,7 +228,7 @@ Var EvalContext::QErrorLoss(Var pred, double target, double eps) {
 EvalContextPool::Lease EvalContextPool::Acquire() {
   std::unique_ptr<EvalContext> ctx;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!free_.empty()) {
       ctx = std::move(free_.back());
       free_.pop_back();
@@ -243,17 +243,17 @@ EvalContextPool::Lease EvalContextPool::Acquire() {
 }
 
 void EvalContextPool::Release(std::unique_ptr<EvalContext> ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   free_.push_back(std::move(ctx));
 }
 
 size_t EvalContextPool::created() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return created_;
 }
 
 size_t EvalContextPool::idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return free_.size();
 }
 

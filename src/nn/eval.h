@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "nn/matrix.h"
 #include "nn/param.h"
 
@@ -153,19 +153,22 @@ class EvalContextPool {
 
   /// Leases a Reset() context: a pooled one when available, else a fresh
   /// one. The lease returns it on destruction.
-  Lease Acquire();
+  Lease Acquire() NEURSC_EXCLUDES(mu_);
 
   /// Contexts created over the pool's lifetime (== peak concurrency).
-  size_t created() const;
+  size_t created() const NEURSC_EXCLUDES(mu_);
   /// Contexts currently parked in the pool.
-  size_t idle() const;
+  size_t idle() const NEURSC_EXCLUDES(mu_);
 
  private:
-  void Release(std::unique_ptr<EvalContext> ctx);
+  void Release(std::unique_ptr<EvalContext> ctx) NEURSC_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<EvalContext>> free_;
-  size_t created_ = 0;
+  /// Guards the free list and the creation count; a leased context itself
+  /// is unsynchronized by contract (exclusively owned until the Lease
+  /// dies).
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<EvalContext>> free_ NEURSC_GUARDED_BY(mu_);
+  size_t created_ NEURSC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace neursc

@@ -352,7 +352,9 @@ Var Tape::RowSoftmax(Var a) {
 Var Tape::ConcatCols(Var a, Var b) {
   const Matrix& av = Value(a);
   const Matrix& bv = Value(b);
-  Matrix out(av.rows(), av.cols() + bv.cols());
+  // Read before MakeNode: it may grow nodes_, invalidating av/bv.
+  size_t acols = av.cols();
+  Matrix out(av.rows(), acols + bv.cols());
   fwd::ConcatCols(av, bv, &out);
   bool req = Requires(a) || Requires(b);
   Var v = MakeNode(std::move(out), req, nullptr);
@@ -360,7 +362,6 @@ Var Tape::ConcatCols(Var a, Var b) {
   int out_id = v.id;
   int aid = a.id;
   int bid = b.id;
-  size_t acols = av.cols();
   nodes_[out_id].backward = [out_id, aid, bid, acols](Tape* t) {
     const Matrix& g = t->nodes_[out_id].grad;
     if (t->nodes_[aid].requires_grad) {

@@ -96,6 +96,9 @@ class Tape {
   /// `param->grad`. The parameter must outlive the tape.
   Var Leaf(Parameter* param);
 
+  /// Reference into the node vector: invalidated by any node-creating
+  /// call (every op may reallocate nodes_). Copy out what you need
+  /// before building more graph.
   const Matrix& Value(Var v) const { return nodes_[v.id].value; }
   /// Gradient of the last Backward() target w.r.t. v. Zero matrix if the
   /// node was not reached.

@@ -108,6 +108,20 @@ TEST(GraphTest, FingerprintStableForEqualGraphs) {
   EXPECT_EQ(a.Fingerprint(), c.Fingerprint());
 }
 
+TEST(GraphTest, FingerprintPinnedValues) {
+  // The fingerprint is a persisted-adjacent contract: PreparedQueryCache
+  // keys and any future on-disk caches depend on it, so the FNV-1a mixing
+  // must stay bit-stable across refactors (the UBSan audit of ci.sh
+  // stage 7 covers the unsigned arithmetic). These constants are the
+  // current hash values; a change here is a cache-invalidating break.
+  EXPECT_EQ(MakeGraph({}, {}).Fingerprint(), 9354609568656401157ull);
+  EXPECT_EQ(MakeGraph({0}, {}).Fingerprint(), 11689819895610196388ull);
+  EXPECT_EQ(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}}).Fingerprint(),
+            18088492265983465222ull);
+  EXPECT_EQ(MakeGraph({3, 1, 4, 1}, {{0, 1}, {1, 2}, {2, 3}}).Fingerprint(),
+            2498827455893402599ull);
+}
+
 TEST(GraphTest, FingerprintSeparatesDifferentGraphs) {
   Graph triangle = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
   Graph path = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,38 @@ TEST(HistogramTest, ZeroAndNegativeGoToZeroBucket) {
   EXPECT_EQ(h->Count(), 3u);
   EXPECT_DOUBLE_EQ(h->Min(), -5.0);
   EXPECT_DOUBLE_EQ(h->Max(), 1.0);
+}
+
+TEST(HistogramTest, BucketIndexPinnedValues) {
+  // UBSan-audit regression pins (ci.sh stage 7): the +inf guard added to
+  // BucketIndex (casting frexp's unspecified-exponent inf mantissa was
+  // float-cast-overflow UB) must not move any finite value's bucket.
+  // These constants are the pre-fix bucket assignments.
+  EXPECT_EQ(Histogram::kNumBuckets, 513u);
+  EXPECT_EQ(Histogram::BucketIndex(1e-3), 201u);
+  EXPECT_EQ(Histogram::BucketIndex(0.5), 273u);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 281u);
+  EXPECT_EQ(Histogram::BucketIndex(3.14159), 293u);
+}
+
+TEST(HistogramTest, NonFiniteValuesClampToEndBuckets) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // +inf is "outside the range upward": the overflow bucket, like any
+  // too-large finite value. NaN and -inf fail (value > 0) and land in the
+  // zero bucket.
+  EXPECT_EQ(Histogram::BucketIndex(inf), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(-inf), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(nan), 0u);
+
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.hist.nonfinite");
+  h->Reset();
+  h->Record(inf);
+  h->Record(1.0);
+  EXPECT_EQ(h->Count(), 2u);
+  EXPECT_DOUBLE_EQ(h->Min(), 1.0);
+  EXPECT_EQ(h->Max(), inf);
 }
 
 TEST(HistogramTest, CountMergesAcrossParallelForThreads) {

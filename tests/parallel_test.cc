@@ -146,6 +146,51 @@ TEST(WorkerPoolTest, ConcurrentCallersBothComplete) {
   }
 }
 
+TEST(WorkerPoolTest, ThrowingBodyCannotDeadlockWaitingRegions) {
+  // Regression for the lock-free-callback contract: a region whose body
+  // throws must release region ownership before the exception is
+  // rethrown, so callers queued for the next region always proceed. Run
+  // several rounds of one throwing caller racing several clean callers.
+  const size_t n = 2000;
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> clean_done{0};
+    std::atomic<bool> threw{false};
+    std::thread thrower([&] {
+      try {
+        ParallelFor(n, [](size_t i) {
+          if (i % 7 == 0) throw std::runtime_error("poisoned index");
+        }, 4);
+      } catch (const std::runtime_error&) {
+        threw.store(true);
+      }
+    });
+    std::vector<std::thread> clean;
+    for (int t = 0; t < 3; ++t) {
+      clean.emplace_back([&] {
+        std::vector<std::atomic<int>> visits(n);
+        ParallelFor(n, [&](size_t i) { visits[i].fetch_add(1); }, 4);
+        for (size_t i = 0; i < n; ++i) ASSERT_EQ(visits[i].load(), 1);
+        clean_done.fetch_add(1);
+      });
+    }
+    thrower.join();
+    for (auto& t : clean) t.join();
+    EXPECT_TRUE(threw.load()) << "round=" << round;
+    EXPECT_EQ(clean_done.load(), 3) << "round=" << round;
+  }
+}
+
+TEST(WorkerPoolTest, BodiesRunWithoutPoolLocksHeld) {
+  // WorkerPoolThreadCount() takes the pool mutex; if Run() held any pool
+  // lock while invoking user callbacks, the caller-participant's body
+  // calling it here would self-deadlock.
+  std::atomic<size_t> observed{0};
+  ParallelFor(64, [&](size_t) {
+    observed.store(WorkerPoolThreadCount(), std::memory_order_relaxed);
+  }, 4);
+  EXPECT_GE(observed.load(), 3u);
+}
+
 TEST(ParallelForTest, NestedParallelForRunsInline) {
   const size_t outer = 8;
   const size_t inner = 16;
